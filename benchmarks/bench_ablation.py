@@ -1,0 +1,78 @@
+"""Ablations of the paper's parameter choices (Sections III-C, IV-A, IV-B)."""
+
+import pytest
+
+from repro.experiments.ablation import (
+    ablate_bdd_reordering,
+    ablate_bdd_size_limit,
+    ablate_gradient_budget,
+    ablate_hetero_vs_homogeneous,
+    ablate_mspf_engine,
+    ablate_xor_cost,
+    format_points,
+)
+
+
+def test_bdd_size_filter_tradeoff(benchmark):
+    """Section III-C: larger limits find at least as many rewrites but cost
+    more runtime; 10 sits on the knee."""
+    points = benchmark.pedantic(ablate_bdd_size_limit, iterations=1, rounds=1)
+    print()
+    print(format_points("Boolean difference: BDD size filter", points))
+    sizes = {p.label: p.size_after for p in points}
+    # looser filters can only match or improve QoR
+    assert sizes["bdd_size≤50"] <= sizes["bdd_size≤2"]
+
+
+def test_xor_cost_filter(benchmark):
+    """Section III-C: a prohibitive xor_cost suppresses difference rewrites."""
+    points = benchmark.pedantic(ablate_xor_cost, iterations=1, rounds=1)
+    print()
+    print(format_points("Boolean difference: xor_cost", points))
+    rewrites = {p.label: p.extra["rewrites"] for p in points}
+    assert rewrites["xor_cost=12"] <= rewrites["xor_cost=0"]
+
+
+def test_gradient_budget_knee(benchmark):
+    """Section IV-A: more budget never hurts QoR; 100 captures most of it."""
+    points = benchmark.pedantic(ablate_gradient_budget, iterations=1, rounds=1)
+    print()
+    print(format_points("Gradient engine: cost budget", points))
+    sizes = [p.size_after for p in points]  # budgets ascending
+    assert sizes[-1] <= sizes[0]
+
+
+def test_heterogeneous_thresholds_win(benchmark):
+    """Section IV-B: choosing the threshold per partition is at least as
+    good as the best homogeneous threshold."""
+    points = benchmark.pedantic(ablate_hetero_vs_homogeneous,
+                                iterations=1, rounds=1)
+    print()
+    print(format_points("Eliminate thresholds: hetero vs homogeneous",
+                        points))
+    hetero = next(p for p in points if p.label == "heterogeneous")
+    homogeneous = [p for p in points if p.label.startswith("homogeneous")]
+    assert hetero.size_after <= min(p.size_after for p in homogeneous)
+
+
+def test_bdd_reordering_tradeoff(benchmark):
+    """Section III-C: the paper skips reordering to save runtime at a
+    memory cost; sifting flips the tradeoff (less memory, more time)."""
+    points = benchmark.pedantic(ablate_bdd_reordering, iterations=1, rounds=1)
+    print()
+    print(format_points("BDD reordering on/off", points))
+    off = next(p for p in points if "paper" in p.label)
+    on = next(p for p in points if "sifting" in p.label)
+    assert on.extra["bdd_nodes"] <= off.extra["bdd_nodes"]
+    assert on.runtime_s >= off.runtime_s * 0.9
+
+
+def test_tt_vs_bdd_mspf(benchmark):
+    """Section IV-C: the BDD MSPF works on larger sub-circuits than the
+    truth-table MSPF of [1]."""
+    points = benchmark.pedantic(ablate_mspf_engine, iterations=1, rounds=1)
+    print()
+    print(format_points("truth-table vs BDD MSPF", points))
+    tt = next(p for p in points if "truth-table" in p.label)
+    bdd = next(p for p in points if "BDD" in p.label)
+    assert bdd.extra["processed"] >= tt.extra["processed"]

@@ -1,0 +1,15 @@
+"""Figure 1 — Boolean difference example (regenerates the figure's claim)."""
+
+import pytest
+
+from repro.experiments.fig1 import format_result, run_fig1
+
+
+def test_fig1_boolean_difference(benchmark):
+    result = benchmark(run_fig1)
+    print()
+    print(format_result(result))
+    # Shape: the rewrite f = ∂f/∂g ⊕ g reduces the node count and verifies.
+    assert result.reduced
+    assert result.verified
+    assert result.stats.rewrites >= 1

@@ -1,0 +1,23 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark prints the paper-style table it regenerates (captured by
+pytest's ``-s`` or visible in the benchmark summary), and asserts the
+qualitative *shape* the paper claims — who wins and in which direction —
+rather than absolute numbers, which depend on the substrate.
+
+Environment knobs:
+
+* ``REPRO_BENCH_FULL=1`` — run every benchmark of each table instead of the
+  representative subset (hours of pure-Python runtime).
+"""
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def full_run() -> bool:
+    """True when the exhaustive benchmark sweep was requested."""
+    return FULL

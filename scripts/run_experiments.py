@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Run every experiment of the reproduction and record the results.
+
+Writes incremental, human-readable results to ``results/`` so EXPERIMENTS.md
+can be assembled from real measurements.  Each artifact is skipped when its
+file already exists (delete ``results/`` to rerun from scratch), and tables
+are written batch-by-batch so partial runs still produce usable rows.
+
+Usage:  python scripts/run_experiments.py [--fast]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+RESULTS = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..",
+                       "results")
+
+
+def save(name: str, text: str) -> None:
+    os.makedirs(RESULTS, exist_ok=True)
+    with open(os.path.join(RESULTS, name), "w") as handle:
+        handle.write(text + "\n")
+    print(f"--- {name} ---")
+    print(text)
+    sys.stdout.flush()
+
+
+def done(name: str) -> bool:
+    return os.path.exists(os.path.join(RESULTS, name))
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    from repro.sbm.config import FlowConfig
+
+    flow = FlowConfig(iterations=1)
+    t0 = time.time()
+
+    if not done("fig1.txt"):
+        from repro.experiments.fig1 import format_result, run_fig1
+        save("fig1.txt", format_result(run_fig1()))
+
+    if not done("runtime.txt"):
+        from repro.experiments.runtime import format_results as fmt_rt
+        from repro.experiments.runtime import run_monolithic
+        save("runtime.txt", fmt_rt(run_monolithic()))
+
+    if not done("ablation.txt"):
+        from repro.experiments.ablation import (
+            ablate_bdd_reordering,
+            ablate_bdd_size_limit,
+            ablate_gradient_budget,
+            ablate_hetero_vs_homogeneous,
+            ablate_mspf_engine,
+            ablate_xor_cost,
+            format_points,
+        )
+        save("ablation.txt", "\n\n".join([
+            format_points("BDD size filter (Section III-C)",
+                          ablate_bdd_size_limit()),
+            format_points("xor_cost (Section III-C)", ablate_xor_cost()),
+            format_points("Gradient cost budget (Section IV-A)",
+                          ablate_gradient_budget()),
+            format_points("Hetero vs homogeneous eliminate (Section IV-B)",
+                          ablate_hetero_vs_homogeneous()),
+            format_points("BDD reordering, extension (Section III-C)",
+                          ablate_bdd_reordering()),
+            format_points("TT-MSPF [1] vs BDD-MSPF (Section IV-C)",
+                          ablate_mspf_engine()),
+        ]))
+
+    small = ["router", "cavlc", "i2c", "priority", "arbiter", "bar", "adder"]
+    medium = ["max", "square", "mult", "sqrt", "mem_ctrl"]
+    large = ["div", "log2", "voter", "sin", "hypotenuse"]
+
+    from repro.experiments.table1 import format_results as fmt_t1
+    from repro.experiments.table1 import run_table1
+    from repro.experiments.table2 import format_results as fmt_t2
+    from repro.experiments.table2 import run_table2
+
+    # Priority order: small batches of both tables, then Table III, then
+    # the arithmetic giants — so a bounded run covers every table.
+    all_t1, all_t2 = [], []
+    if not done("table1_small.txt"):
+        all_t1 += run_table1(benchmarks=small, flow_config=flow)
+        save("table1_small.txt", fmt_t1(all_t1))
+    if not done("table2_small.txt"):
+        all_t2 += run_table2(benchmarks=small, flow_config=flow)
+        save("table2_small.txt", fmt_t2(all_t2))
+
+    if not done("table3.txt"):
+        from repro.experiments.table3 import format_summary, run_table3
+        count = 6 if fast else 33
+        summary = run_table3(num_designs=count, sbm_config=flow)
+        save("table3.txt", format_summary(summary))
+
+    if not fast:
+        if not done("table2_medium.txt"):
+            rows = run_table2(benchmarks=medium, flow_config=flow)
+            save("table2_medium.txt", fmt_t2(rows))
+        if not done("table1_medium.txt"):
+            rows = run_table1(benchmarks=medium, flow_config=flow)
+            save("table1_medium.txt", fmt_t1(rows))
+        for name in large:
+            artifact = f"table2_large_{name}.txt"
+            if not done(artifact):
+                rows = run_table2(benchmarks=[name], flow_config=flow)
+                save(artifact, fmt_t2(rows))
+
+    save("DONE.txt", f"experiments finished in {time.time() - t0:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""repro — reproduction of "Scalable Boolean Methods in a Modern Synthesis Flow".
+
+Testa et al., DATE 2019.  The package provides the four SBM optimization
+engines (:mod:`repro.sbm`) on top of from-scratch logic-synthesis substrates:
+AIGs, truth tables, BDDs, SAT, SOP algebra, partitioning, classic AIG
+optimization, LUT/cell mapping, and a synthetic ASIC back-end flow.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,73 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``fig1``                 reproduce the Figure 1 demonstration
+``table1 [names...]``    reproduce Table I (LUT-6 area) on the given or
+                         default benchmarks
+``table2 [names...]``    reproduce Table II (smallest AIGs)
+``table3 [count]``       reproduce Table III on *count* industrial designs
+``runtime``              the Section III-B monolithic runtime claim
+``ablation``             parameter ablations (Sections III-C, IV-A, IV-B)
+``optimize <file.aag>``  run the SBM flow on an ASCII AIGER file
+``bench <name>``         print a benchmark's statistics
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        print(__doc__)
+        return 1
+    command, rest = args[0], args[1:]
+    if command == "fig1":
+        from repro.experiments.fig1 import format_result, run_fig1
+        print(format_result(run_fig1()))
+    elif command == "table1":
+        from repro.experiments.table1 import format_results, run_table1
+        print(format_results(run_table1(benchmarks=rest or None)))
+    elif command == "table2":
+        from repro.experiments.table2 import format_results, run_table2
+        print(format_results(run_table2(benchmarks=rest or None)))
+    elif command == "table3":
+        from repro.experiments.table3 import format_summary, run_table3
+        count = int(rest[0]) if rest else 6
+        print(format_summary(run_table3(num_designs=count)))
+    elif command == "runtime":
+        from repro.experiments.runtime import format_results, run_monolithic
+        print(format_results(run_monolithic()))
+    elif command == "ablation":
+        from repro.experiments import ablation
+        ablation.main()
+    elif command == "optimize":
+        from repro.aig.io_aiger import read_aag, write_aag
+        from repro.sat.equivalence import check_equivalence
+        from repro.sbm.config import FlowConfig
+        from repro.sbm.flow import sbm_flow
+        aig = read_aag(rest[0])
+        print(f"input : {aig.stats()}")
+        optimized, stats = sbm_flow(aig, FlowConfig(iterations=1))
+        ok, _ = check_equivalence(aig, optimized)
+        print(f"output: {optimized.stats()}  verified={ok}  "
+              f"({stats.runtime_s:.1f}s)")
+        if len(rest) > 1:
+            write_aag(optimized, rest[1])
+            print(f"written to {rest[1]}")
+    elif command == "bench":
+        from repro.bench.registry import benchmark_names, get_benchmark
+        names = rest or benchmark_names()
+        for name in names:
+            aig = get_benchmark(name, scaled=True)
+            print(f"{name:12s} {aig.stats()}")
+    else:
+        print(__doc__)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,190 @@
+"""Word-level circuit composition helpers.
+
+The EPFL arithmetic benchmarks (adder, mult, div, sqrt, square, hypotenuse,
+log2, sin, max, bar) are word-level operators; this module provides the
+building blocks to construct them gate-by-gate on an :class:`~repro.aig.Aig`.
+All functions take and return lists of literals, least-significant bit first.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.aig.aig import CONST0, CONST1, Aig, lit_not
+from repro.errors import AigError
+
+
+def full_adder(aig: Aig, a: int, b: int, cin: int) -> Tuple[int, int]:
+    """One-bit full adder; returns ``(sum, carry_out)``."""
+    s = aig.add_xor(aig.add_xor(a, b), cin)
+    c = aig.add_maj(a, b, cin)
+    return s, c
+
+
+def ripple_adder(aig: Aig, a: Sequence[int], b: Sequence[int],
+                 cin: int = CONST0) -> Tuple[List[int], int]:
+    """Ripple-carry addition of two equal-width words; returns (sum, carry)."""
+    if len(a) != len(b):
+        raise AigError("adder operand widths differ")
+    out: List[int] = []
+    carry = cin
+    for bit_a, bit_b in zip(a, b):
+        s, carry = full_adder(aig, bit_a, bit_b, carry)
+        out.append(s)
+    return out, carry
+
+
+def subtractor(aig: Aig, a: Sequence[int], b: Sequence[int]) -> Tuple[List[int], int]:
+    """Two's-complement subtraction ``a - b``; returns (difference, borrow).
+
+    The returned *borrow* is 1 when ``a < b`` (unsigned).
+    """
+    diff, carry = ripple_adder(aig, list(a), [lit_not(x) for x in b], CONST1)
+    return diff, lit_not(carry)
+
+
+def less_than(aig: Aig, a: Sequence[int], b: Sequence[int]) -> int:
+    """Unsigned comparison literal for ``a < b``."""
+    _diff, borrow = subtractor(aig, a, b)
+    return borrow
+
+
+def equal(aig: Aig, a: Sequence[int], b: Sequence[int]) -> int:
+    """Equality literal for two equal-width words."""
+    bits = [lit_not(aig.add_xor(x, y)) for x, y in zip(a, b)]
+    return aig.add_and_multi(bits)
+
+
+def mux_word(aig: Aig, sel: int, t: Sequence[int], e: Sequence[int]) -> List[int]:
+    """Bitwise two-way multiplexer: ``sel ? t : e``."""
+    if len(t) != len(e):
+        raise AigError("mux operand widths differ")
+    return [aig.add_mux(sel, x, y) for x, y in zip(t, e)]
+
+
+def max_word(aig: Aig, a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Unsigned maximum of two words (the EPFL *max* primitive)."""
+    a_smaller = less_than(aig, a, b)
+    return mux_word(aig, a_smaller, b, a)
+
+
+def multiplier(aig: Aig, a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Unsigned array multiplier; result width is ``len(a) + len(b)``."""
+    width = len(a) + len(b)
+    acc: List[int] = [CONST0] * width
+    for i, bit_b in enumerate(b):
+        partial = [CONST0] * i + [aig.add_and(bit_a, bit_b) for bit_a in a]
+        partial += [CONST0] * (width - len(partial))
+        acc, _carry = ripple_adder(aig, acc, partial)
+    return acc
+
+
+def square(aig: Aig, a: Sequence[int]) -> List[int]:
+    """Unsigned squarer (EPFL *square*): ``a * a`` with width ``2*len(a)``."""
+    return multiplier(aig, a, a)
+
+
+def divider(aig: Aig, num: Sequence[int], den: Sequence[int]) -> Tuple[List[int], List[int]]:
+    """Restoring array divider; returns (quotient, remainder).
+
+    Matches the EPFL *div* benchmark semantics (quotient and remainder
+    outputs).  Division by zero yields all-ones quotient, remainder = num,
+    as produced by the restoring scheme with borrow inspection.
+    """
+    n = len(num)
+    den_ext = list(den) + [CONST0]
+    rem: List[int] = [CONST0] * (n + 1)
+    quot: List[int] = [CONST0] * n
+    for i in range(n - 1, -1, -1):
+        rem = [num[i]] + rem[:-1]
+        diff, borrow = subtractor(aig, rem, den_ext)
+        take = lit_not(borrow)  # rem >= den
+        rem = mux_word(aig, take, diff, rem)
+        quot[i] = take
+    return quot, rem[:n]
+
+
+def isqrt(aig: Aig, a: Sequence[int]) -> List[int]:
+    """Integer square root of a ``2k``-bit word, ``k`` output bits (EPFL *sqrt*).
+
+    Uses the restoring digit-recurrence method: each iteration appends two
+    operand bits to the partial remainder and conditionally subtracts the
+    trial value ``(root << 2) | 1``.
+    """
+    if len(a) % 2:
+        a = list(a) + [CONST0]
+    k = len(a) // 2
+    root: List[int] = []
+    rem: List[int] = []
+    for i in range(k - 1, -1, -1):
+        rem = [a[2 * i], a[2 * i + 1]] + rem
+        trial = [CONST1, CONST0] + root  # (root << 2) | 1, LSB first
+        width = max(len(rem), len(trial) + 1)
+        rem_ext = list(rem) + [CONST0] * (width - len(rem))
+        trial_ext = list(trial) + [CONST0] * (width - len(trial))
+        diff, borrow = subtractor(aig, rem_ext, trial_ext)
+        take = lit_not(borrow)
+        rem = mux_word(aig, take, diff, rem_ext)
+        root = [take] + root
+    return root
+
+
+def hypotenuse(aig: Aig, a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """EPFL *hypotenuse*: ``isqrt(a*a + b*b)`` over equal-width operands."""
+    sq_a = square(aig, a)
+    sq_b = square(aig, b)
+    total, carry = ripple_adder(aig, sq_a, sq_b)
+    total = total + [carry]
+    if len(total) % 2:
+        total.append(CONST0)
+    return isqrt(aig, total)
+
+
+def barrel_shifter(aig: Aig, data: Sequence[int], shift: Sequence[int]) -> List[int]:
+    """Logarithmic left-rotate barrel shifter (EPFL *bar* style)."""
+    word = list(data)
+    n = len(word)
+    for stage, sel in enumerate(shift):
+        amount = (1 << stage) % n
+        rotated = word[-amount:] + word[:-amount] if amount else word
+        word = mux_word(aig, sel, rotated, word)
+    return word
+
+
+def popcount(aig: Aig, bits: Sequence[int]) -> List[int]:
+    """Population count using a balanced adder tree (used by *voter*)."""
+    words: List[List[int]] = [[b] for b in bits]
+    while len(words) > 1:
+        nxt: List[List[int]] = []
+        for i in range(0, len(words) - 1, 2):
+            a, b = words[i], words[i + 1]
+            width = max(len(a), len(b))
+            a = a + [CONST0] * (width - len(a))
+            b = b + [CONST0] * (width - len(b))
+            total, carry = ripple_adder(aig, a, b)
+            nxt.append(total + [carry])
+        if len(words) % 2:
+            nxt.append(words[-1])
+        words = nxt
+    return words[0]
+
+
+def constant_word(value: int, width: int) -> List[int]:
+    """Literal list encoding *value* as an unsigned *width*-bit constant."""
+    return [CONST1 if (value >> i) & 1 else CONST0 for i in range(width)]
+
+
+def decoder(aig: Aig, sel: Sequence[int]) -> List[int]:
+    """Full binary decoder: ``2**len(sel)`` one-hot outputs."""
+    outs = [CONST1]
+    for s in sel:
+        outs = [aig.add_and(o, lit_not(s)) for o in outs] + \
+               [aig.add_and(o, s) for o in outs]
+    return outs
+
+
+def onehot_mux(aig: Aig, selects: Sequence[int], data: Sequence[int]) -> int:
+    """OR of ``select_i AND data_i`` — one-hot multiplexer."""
+    if len(selects) != len(data):
+        raise AigError("one-hot mux width mismatch")
+    return aig.add_or_multi([aig.add_and(s, d) for s, d in zip(selects, data)])

@@ -1,0 +1,166 @@
+"""K-feasible cut enumeration over AIGs.
+
+Cuts are the windows on which local Boolean methods operate: the rewriting
+move of the gradient engine evaluates replacement structures per cut, and the
+LUT-6 mapper of the Table I experiment covers the network with 6-feasible
+cuts.  A *cut* of node ``n`` is a set of nodes (leaves) such that every path
+from a PI to ``n`` passes through a leaf; it is K-feasible when it has at most
+K leaves.
+
+The enumerator is the classic bottom-up cross-product with per-node priority
+lists, keeping at most ``cut_limit`` cuts per node ranked by size — the same
+pruning used by ABC's mappers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.aig.aig import Aig, lit_is_compl, lit_node
+from repro.aig.traversal import topological_order_all
+
+
+@dataclass(frozen=True)
+class Cut:
+    """An immutable cut: sorted leaf tuple plus the truth table over leaves.
+
+    The truth table (when computed) is an integer over ``2**len(leaves)``
+    bits, with leaf 0 the least significant variable.
+    """
+
+    leaves: Tuple[int, ...]
+    table: Optional[int] = field(default=None, compare=False)
+
+    def __len__(self) -> int:
+        return len(self.leaves)
+
+    def dominates(self, other: "Cut") -> bool:
+        """True when this cut's leaves are a subset of *other*'s."""
+        return set(self.leaves) <= set(other.leaves)
+
+
+def enumerate_cuts(aig: Aig, k: int = 4, cut_limit: int = 8,
+                   compute_tables: bool = False) -> Dict[int, List[Cut]]:
+    """Enumerate up to *cut_limit* K-feasible cuts for every live node.
+
+    Every node always keeps its trivial cut ``{n}`` (required for mapping).
+    With ``compute_tables=True`` each cut carries its local truth table,
+    enabling NPN-class lookups during rewriting.
+
+    Returns a dict from node id to its cut list; PIs and the constant node
+    have only their trivial cut.
+    """
+    cuts: Dict[int, List[Cut]] = {0: [Cut((0,), 0 if compute_tables else None)]}
+    for p in aig.pis():
+        cuts[p] = [Cut((p,), 0b10 if compute_tables else None)]
+    for n in topological_order_all(aig):
+        f0, f1 = aig.fanins(n)
+        n0, n1 = lit_node(f0), lit_node(f1)
+        c0, c1 = lit_is_compl(f0), lit_is_compl(f1)
+        merged: List[Cut] = []
+        for cut_a in cuts[n0]:
+            for cut_b in cuts[n1]:
+                leaves = tuple(sorted(set(cut_a.leaves) | set(cut_b.leaves)))
+                if len(leaves) > k:
+                    continue
+                table = None
+                if compute_tables:
+                    table = _merge_tables(cut_a, cut_b, leaves, c0, c1)
+                merged.append(Cut(leaves, table))
+        merged = _filter_cuts(merged, cut_limit)
+        trivial_table = 0b10 if compute_tables else None
+        merged.append(Cut((n,), trivial_table))
+        cuts[n] = merged
+    return cuts
+
+
+def _filter_cuts(cands: List[Cut], limit: int) -> List[Cut]:
+    """Remove duplicate and dominated cuts, keep the *limit* smallest."""
+    cands.sort(key=lambda c: (len(c.leaves), c.leaves))
+    kept: List[Cut] = []
+    seen = set()
+    for cut in cands:
+        if cut.leaves in seen:
+            continue
+        if any(prev.dominates(cut) for prev in kept):
+            continue
+        seen.add(cut.leaves)
+        kept.append(cut)
+        if len(kept) >= limit:
+            break
+    return kept
+
+
+def _merge_tables(cut_a: Cut, cut_b: Cut, leaves: Tuple[int, ...],
+                  compl_a: bool, compl_b: bool) -> int:
+    """Truth table of the AND of two fanin cuts over the merged leaf set."""
+    nvars = len(leaves)
+    nbits = 1 << nvars
+    mask = (1 << nbits) - 1
+    ta = _expand_table(cut_a.table, cut_a.leaves, leaves, nbits)
+    tb = _expand_table(cut_b.table, cut_b.leaves, leaves, nbits)
+    if compl_a:
+        ta ^= mask
+    if compl_b:
+        tb ^= mask
+    return ta & tb
+
+
+def _expand_table(table: int, from_leaves: Tuple[int, ...],
+                  to_leaves: Tuple[int, ...], nbits: int) -> int:
+    """Re-express *table* (over *from_leaves*) over the superset *to_leaves*."""
+    positions = [to_leaves.index(leaf) for leaf in from_leaves]
+    out = 0
+    for row in range(nbits):
+        idx = 0
+        for bit, pos in enumerate(positions):
+            if (row >> pos) & 1:
+                idx |= 1 << bit
+        if (table >> idx) & 1:
+            out |= 1 << row
+    return out
+
+
+def cut_cone_size(aig: Aig, node: int, cut: Cut) -> int:
+    """Number of AND nodes strictly inside *cut* rooted at *node*."""
+    leaves = set(cut.leaves)
+    if node in leaves:
+        return 0
+    seen = set()
+    stack = [node]
+    while stack:
+        n = stack.pop()
+        if n in seen or n in leaves or not aig.is_and(n):
+            continue
+        seen.add(n)
+        stack.extend(lit_node(f) for f in aig.fanins(n))
+    return len(seen)
+
+
+def cut_volume_refs(aig: Aig, node: int, cut: Cut) -> int:
+    """Nodes of the cut cone whose only fanouts stay inside the cone.
+
+    This approximates the gain of replacing the cone: nodes referenced from
+    outside survive the rewrite, the rest are reclaimed (MFFC-style counting
+    restricted to the cut cone).
+    """
+    leaves = set(cut.leaves)
+    cone = []
+    seen = set()
+    stack = [node]
+    while stack:
+        n = stack.pop()
+        if n in seen or n in leaves or not aig.is_and(n):
+            continue
+        seen.add(n)
+        cone.append(n)
+        stack.extend(lit_node(f) for f in aig.fanins(n))
+    reclaim = 0
+    for n in cone:
+        if n == node:
+            reclaim += 1
+            continue
+        if all(t in seen for t in aig.fanout_nodes(n)) and aig.ref_count(n) == len(aig.fanout_nodes(n)):
+            reclaim += 1
+    return reclaim

@@ -1,0 +1,132 @@
+"""Reading and writing AIGs in the ASCII AIGER (``.aag``) format.
+
+The EPFL suite distributes its benchmarks as AIGER files; this module lets the
+reproduction exchange circuits with external tools (ABC, mockturtle) and store
+generated benchmarks on disk.  Only the combinational subset (no latches) is
+supported, matching the paper's scope.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, TextIO, Union
+
+from repro.aig.aig import Aig, lit_is_compl, lit_node, lit_notcond
+from repro.errors import AigError
+
+
+def write_aag(aig: Aig, target: Union[str, TextIO]) -> None:
+    """Write *aig* as an ASCII AIGER file to a path or file object.
+
+    Nodes are renumbered densely (PIs first, ANDs in topological order), so a
+    round trip through :func:`read_aag` yields a compacted network.
+    """
+    if isinstance(target, str):
+        with open(target, "w", encoding="ascii") as handle:
+            write_aag(aig, handle)
+            return
+    order = aig.topological_order()
+    mapping = {0: 0}
+    for i, p in enumerate(aig.pis()):
+        mapping[p] = 2 * (i + 1)
+    for j, n in enumerate(order):
+        mapping[n] = 2 * (aig.num_pis + 1 + j)
+
+    def map_lit(literal: int) -> int:
+        return mapping[lit_node(literal)] | (1 if lit_is_compl(literal) else 0)
+
+    max_var = aig.num_pis + len(order)
+    target.write(f"aag {max_var} {aig.num_pis} 0 {aig.num_pos} {len(order)}\n")
+    for i in range(aig.num_pis):
+        target.write(f"{2 * (i + 1)}\n")
+    for po in aig.pos():
+        target.write(f"{map_lit(po)}\n")
+    for n in order:
+        f0, f1 = aig.fanins(n)
+        a, b = map_lit(f0), map_lit(f1)
+        if a < b:
+            a, b = b, a
+        target.write(f"{mapping[n]} {a} {b}\n")
+    for i in range(aig.num_pis):
+        target.write(f"i{i} {aig.pi_name(i)}\n")
+    for i in range(aig.num_pos):
+        target.write(f"o{i} {aig.po_name(i)}\n")
+
+
+def write_aag_string(aig: Aig) -> str:
+    """Serialize *aig* to an ASCII AIGER string."""
+    buf = io.StringIO()
+    write_aag(aig, buf)
+    return buf.getvalue()
+
+
+def read_aag(source: Union[str, TextIO], name: str = "aag") -> Aig:
+    """Parse an ASCII AIGER file from a path, file object, or literal text."""
+    if isinstance(source, str):
+        if source.lstrip().startswith("aag "):
+            return _parse_aag(io.StringIO(source), name)
+        with open(source, "r", encoding="ascii") as handle:
+            return _parse_aag(handle, name)
+    return _parse_aag(source, name)
+
+
+def _parse_aag(handle: TextIO, name: str) -> Aig:
+    header = handle.readline().split()
+    if len(header) < 6 or header[0] != "aag":
+        raise AigError(f"not an ASCII AIGER header: {header}")
+    _max_var, num_in, num_latch, num_out, num_and = (int(x) for x in header[1:6])
+    if num_latch:
+        raise AigError("sequential AIGER files are not supported")
+    aig = Aig(name)
+    in_lits: List[int] = []
+    for _ in range(num_in):
+        line = handle.readline().split()
+        in_lits.append(int(line[0]))
+    out_lits: List[int] = []
+    for _ in range(num_out):
+        out_lits.append(int(handle.readline().split()[0]))
+    and_rows = []
+    for _ in range(num_and):
+        row = handle.readline().split()
+        and_rows.append((int(row[0]), int(row[1]), int(row[2])))
+
+    mapping = {0: 0}
+    pi_lits = aig.add_pis(num_in)
+    for file_lit, our_lit in zip(in_lits, pi_lits):
+        if file_lit & 1:
+            raise AigError("complemented input definition")
+        mapping[file_lit >> 1] = our_lit
+
+    def resolve(file_lit: int) -> int:
+        node = file_lit >> 1
+        if node not in mapping:
+            raise AigError(f"literal {file_lit} used before definition")
+        return lit_notcond(mapping[node], bool(file_lit & 1))
+
+    # AIGER guarantees definitions before uses for ANDs in well-formed files,
+    # but sort defensively by lhs just in case.
+    and_rows.sort(key=lambda row: row[0])
+    for lhs, rhs0, rhs1 in and_rows:
+        if lhs & 1:
+            raise AigError("complemented AND definition")
+        mapping[lhs >> 1] = aig.add_and(resolve(rhs0), resolve(rhs1))
+
+    # Symbol table (optional).
+    pi_names = {}
+    po_names = {}
+    for line in handle:
+        line = line.strip()
+        if not line or line == "c":
+            break
+        if line[0] == "i":
+            idx, _sep, symbol = line[1:].partition(" ")
+            pi_names[int(idx)] = symbol
+        elif line[0] == "o":
+            idx, _sep, symbol = line[1:].partition(" ")
+            po_names[int(idx)] = symbol
+
+    for i, file_lit in enumerate(out_lits):
+        aig.add_po(resolve(file_lit), po_names.get(i))
+    for i, symbol in pi_names.items():
+        aig._pi_names[i] = symbol
+    return aig

@@ -1,0 +1,152 @@
+"""Binary AIGER (``.aig``) reading and writing.
+
+The EPFL suite (and most AIGER tooling) distributes circuits in the binary
+format: inputs are implicit, AND definitions are consecutive, and each AND
+stores two deltas in LEB128-style 7-bit groups.  Supporting it makes the
+reproduction interoperable with the real benchmark files when they are
+available.
+
+Only the combinational subset is handled (no latches), like the ASCII
+reader.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import BinaryIO, List, Union
+
+from repro.aig.aig import Aig, lit_is_compl, lit_node, lit_notcond
+from repro.errors import AigError
+
+
+def _encode_delta(value: int, out: bytearray) -> None:
+    """LEB128-style encoding used by AIGER: 7 bits per byte, MSB = more."""
+    while value >= 0x80:
+        out.append(0x80 | (value & 0x7F))
+        value >>= 7
+    out.append(value)
+
+
+def _decode_delta(handle: BinaryIO) -> int:
+    value = 0
+    shift = 0
+    while True:
+        raw = handle.read(1)
+        if not raw:
+            raise AigError("truncated binary AIGER delta")
+        byte = raw[0]
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value
+        shift += 7
+
+
+def write_aig_binary(aig: Aig, target: Union[str, BinaryIO]) -> None:
+    """Write *aig* in the binary AIGER format.
+
+    Nodes are renumbered densely with PIs first and ANDs topologically, as
+    the format requires (every AND literal must exceed both its operands).
+    """
+    if isinstance(target, str):
+        with open(target, "wb") as handle:
+            write_aig_binary(aig, handle)
+            return
+    order = aig.topological_order()
+    mapping = {0: 0}
+    for i, p in enumerate(aig.pis()):
+        mapping[p] = 2 * (i + 1)
+    for j, n in enumerate(order):
+        mapping[n] = 2 * (aig.num_pis + 1 + j)
+
+    def map_lit(literal: int) -> int:
+        return mapping[lit_node(literal)] | (1 if lit_is_compl(literal) else 0)
+
+    max_var = aig.num_pis + len(order)
+    header = (f"aig {max_var} {aig.num_pis} 0 {aig.num_pos} "
+              f"{len(order)}\n").encode("ascii")
+    target.write(header)
+    for po in aig.pos():
+        target.write(f"{map_lit(po)}\n".encode("ascii"))
+    body = bytearray()
+    for n in order:
+        lhs = mapping[n]
+        a, b = map_lit(aig.fanin0(n)), map_lit(aig.fanin1(n))
+        if a < b:
+            a, b = b, a
+        _encode_delta(lhs - a, body)
+        _encode_delta(a - b, body)
+    target.write(bytes(body))
+    # Symbol table.
+    symbols = []
+    for i in range(aig.num_pis):
+        symbols.append(f"i{i} {aig.pi_name(i)}\n")
+    for i in range(aig.num_pos):
+        symbols.append(f"o{i} {aig.po_name(i)}\n")
+    target.write("".join(symbols).encode("ascii"))
+
+
+def read_aig_binary(source: Union[str, bytes, BinaryIO],
+                    name: str = "aig") -> Aig:
+    """Parse a binary AIGER file from a path, bytes, or binary file object."""
+    if isinstance(source, str):
+        with open(source, "rb") as handle:
+            return read_aig_binary(handle, name)
+    if isinstance(source, bytes):
+        return read_aig_binary(io.BytesIO(source), name)
+    handle = source
+    header = _read_line(handle).split()
+    if len(header) < 6 or header[0] != "aig":
+        raise AigError(f"not a binary AIGER header: {header}")
+    max_var, num_in, num_latch, num_out, num_and = (int(x)
+                                                    for x in header[1:6])
+    if num_latch:
+        raise AigError("sequential binary AIGER files are not supported")
+    if max_var != num_in + num_and:
+        raise AigError("inconsistent binary AIGER header")
+    aig = Aig(name)
+    literal_of: List[int] = [0]  # file variable -> our literal
+    for literal in aig.add_pis(num_in):
+        literal_of.append(literal)
+    out_lits = [int(_read_line(handle)) for _ in range(num_out)]
+    for k in range(num_and):
+        lhs = 2 * (num_in + 1 + k)
+        delta0 = _decode_delta(handle)
+        delta1 = _decode_delta(handle)
+        rhs0 = lhs - delta0
+        rhs1 = rhs0 - delta1
+        if rhs0 < 0 or rhs1 < 0 or rhs0 >= lhs:
+            raise AigError(f"invalid AND deltas at index {k}")
+        a = lit_notcond(literal_of[rhs0 >> 1], bool(rhs0 & 1))
+        b = lit_notcond(literal_of[rhs1 >> 1], bool(rhs1 & 1))
+        literal_of.append(aig.add_and(a, b))
+    po_names = {}
+    pi_names = {}
+    while True:
+        line = _read_line(handle, allow_eof=True)
+        if line is None or line == "c":
+            break
+        if line.startswith("i"):
+            idx, _sep, symbol = line[1:].partition(" ")
+            pi_names[int(idx)] = symbol
+        elif line.startswith("o"):
+            idx, _sep, symbol = line[1:].partition(" ")
+            po_names[int(idx)] = symbol
+    for i, file_lit in enumerate(out_lits):
+        literal = lit_notcond(literal_of[file_lit >> 1], bool(file_lit & 1))
+        aig.add_po(literal, po_names.get(i))
+    for i, symbol in pi_names.items():
+        aig._pi_names[i] = symbol
+    return aig
+
+
+def _read_line(handle: BinaryIO, allow_eof: bool = False):
+    out = bytearray()
+    while True:
+        raw = handle.read(1)
+        if not raw:
+            if allow_eof:
+                return out.decode("ascii").rstrip() if out else None
+            raise AigError("unexpected end of binary AIGER file")
+        if raw == b"\n":
+            return out.decode("ascii").rstrip()
+        out.extend(raw)

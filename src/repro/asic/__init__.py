@@ -1,0 +1,19 @@
+"""Synthetic ASIC implementation substrate (Table III)."""
+
+from repro.asic.celllib import Cell, CellLibrary, Match
+from repro.asic.designs import IndustrialDesign, generate_design, industrial_designs
+from repro.asic.flow import ImplementationResult, baseline_flow, proposed_flow
+from repro.asic.place import Placement, place, wire_capacitance
+from repro.asic.power import PowerReport, analyze_power, simulate_netlist, switching_activities
+from repro.asic.sta import TimingReport, analyze_timing, net_loads
+from repro.asic.techmap import Gate, Netlist, tech_map
+
+__all__ = [
+    "Cell", "CellLibrary", "Match",
+    "tech_map", "Gate", "Netlist",
+    "place", "Placement", "wire_capacitance",
+    "analyze_timing", "TimingReport", "net_loads",
+    "analyze_power", "PowerReport", "simulate_netlist", "switching_activities",
+    "industrial_designs", "IndustrialDesign", "generate_design",
+    "baseline_flow", "proposed_flow", "ImplementationResult",
+]

@@ -1,0 +1,150 @@
+"""Standard-cell library model for the ASIC flow (Table III substrate).
+
+The paper embeds SBM in a commercial ASIC flow; its cell libraries are
+proprietary, so we define a generic technology with the usual combinational
+cells (INV/BUF, N/AND/OR 2-3, XOR/XNOR, AOI/OAI, MUX, MAJ).  Units are
+normalized: area in equivalent NAND2s, delay in FO4-ish units with a linear
+load model ``delay = intrinsic + resistance × load``, capacitance per input
+pin, and leakage per cell.
+
+Matching tables are precomputed: for every cell, every input permutation and
+phase assignment of its function (and the complement) is indexed, so the
+tech mapper can look up any cut function and learn which cell realizes it
+and which inputs/output need inverters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+from typing import Dict, List, Optional, Tuple
+
+from repro.tt.truthtable import TruthTable
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One combinational standard cell."""
+
+    name: str
+    num_inputs: int
+    table: int           # truth table bits over num_inputs variables
+    area: float
+    intrinsic: float     # intrinsic delay
+    resistance: float    # delay per unit load
+    input_cap: float
+    leakage: float
+
+
+@dataclass(frozen=True)
+class Match:
+    """How a cut function maps onto a cell.
+
+    ``pin_leaf[j]`` is the cut-leaf index feeding cell input pin *j* and
+    ``pin_compl[j]`` whether that pin takes the complemented leaf signal;
+    ``output_compl`` means the cell output must be inverted to produce the
+    cut function.
+    """
+
+    cell: Cell
+    pin_leaf: Tuple[int, ...]
+    pin_compl: Tuple[bool, ...]
+    output_compl: bool
+
+    @property
+    def num_inverters(self) -> int:
+        """Inverters this match needs (input pins plus output)."""
+        return sum(self.pin_compl) + (1 if self.output_compl else 0)
+
+
+def _tt(num_vars: int, expr) -> int:
+    """Truth table bits of a Python lambda over *num_vars* inputs."""
+    bits = 0
+    for row in range(1 << num_vars):
+        args = [bool((row >> i) & 1) for i in range(num_vars)]
+        if expr(*args):
+            bits |= 1 << row
+    return bits
+
+
+def default_cells() -> List[Cell]:
+    """A representative generic library (areas/delays in normalized units)."""
+    return [
+        Cell("INV", 1, _tt(1, lambda a: not a), 0.67, 0.020, 0.8, 1.0, 0.4),
+        Cell("BUF", 1, _tt(1, lambda a: a), 1.00, 0.035, 0.5, 1.0, 0.6),
+        Cell("NAND2", 2, _tt(2, lambda a, b: not (a and b)), 1.00, 0.030, 1.0, 1.0, 0.8),
+        Cell("NOR2", 2, _tt(2, lambda a, b: not (a or b)), 1.00, 0.035, 1.2, 1.0, 0.8),
+        Cell("AND2", 2, _tt(2, lambda a, b: a and b), 1.33, 0.050, 1.0, 1.0, 1.0),
+        Cell("OR2", 2, _tt(2, lambda a, b: a or b), 1.33, 0.055, 1.1, 1.0, 1.0),
+        Cell("XOR2", 2, _tt(2, lambda a, b: a != b), 2.00, 0.065, 1.3, 1.5, 1.6),
+        Cell("XNOR2", 2, _tt(2, lambda a, b: a == b), 2.00, 0.065, 1.3, 1.5, 1.6),
+        Cell("NAND3", 3, _tt(3, lambda a, b, c: not (a and b and c)), 1.33, 0.040, 1.3, 1.0, 1.1),
+        Cell("NOR3", 3, _tt(3, lambda a, b, c: not (a or b or c)), 1.33, 0.050, 1.6, 1.0, 1.1),
+        Cell("AND3", 3, _tt(3, lambda a, b, c: a and b and c), 1.67, 0.060, 1.2, 1.0, 1.3),
+        Cell("OR3", 3, _tt(3, lambda a, b, c: a or b or c), 1.67, 0.065, 1.3, 1.0, 1.3),
+        Cell("AOI21", 3, _tt(3, lambda a, b, c: not ((a and b) or c)), 1.33, 0.045, 1.4, 1.0, 1.0),
+        Cell("OAI21", 3, _tt(3, lambda a, b, c: not ((a or b) and c)), 1.33, 0.045, 1.4, 1.0, 1.0),
+        Cell("MUX2", 3, _tt(3, lambda s, d1, d0: d1 if s else d0), 2.33, 0.070, 1.4, 1.2, 1.8),
+        Cell("MAJ3", 3, _tt(3, lambda a, b, c: (a + b + c) >= 2), 2.67, 0.080, 1.5, 1.2, 2.0),
+    ]
+
+
+class CellLibrary:
+    """A matching-indexed cell library."""
+
+    def __init__(self, cells: Optional[List[Cell]] = None) -> None:
+        self.cells = cells if cells is not None else default_cells()
+        self._matches: Dict[Tuple[int, int], Match] = {}
+        self._index()
+
+    def _index(self) -> None:
+        for cell in self.cells:
+            n = cell.num_inputs
+            base = TruthTable(cell.table, n)
+            for perm in permutations(range(n)):
+                # After permute(perm), leaf variable i drives cell pin
+                # perm[i]; invert to get the pin → leaf binding.
+                pin_leaf = [0] * n
+                for leaf, pin in enumerate(perm):
+                    pin_leaf[pin] = leaf
+                permuted = base.permute(perm)
+                for phase in range(1 << n):
+                    variant = permuted
+                    for v in range(n):
+                        if (phase >> v) & 1:
+                            variant = variant.flip_variable(v)
+                    pin_compl = tuple(bool((phase >> pin_leaf[j]) & 1)
+                                      for j in range(n))
+                    for out_compl in (False, True):
+                        bits = (~variant).bits if out_compl else variant.bits
+                        key = (bits, n)
+                        candidate = Match(cell=cell, pin_leaf=tuple(pin_leaf),
+                                          pin_compl=pin_compl,
+                                          output_compl=out_compl)
+                        incumbent = self._matches.get(key)
+                        if (incumbent is None
+                                or self._cost(candidate) < self._cost(incumbent)):
+                            self._matches[key] = candidate
+        # Wire-through "matches" for projection functions are handled by the
+        # mapper directly (no cell needed).
+
+    @staticmethod
+    def _cost(match: Match) -> float:
+        """Static preference: cell area plus amortized inverter cost."""
+        return match.cell.area + 0.45 * match.num_inverters
+
+    def match(self, table_bits: int, num_vars: int) -> Optional[Match]:
+        """Best match for a cut function, or None."""
+        return self._matches.get((table_bits, num_vars))
+
+    def cell_by_name(self, name: str) -> Cell:
+        """Lookup a cell by name (raises ``KeyError`` if absent)."""
+        for cell in self.cells:
+            if cell.name == name:
+                return cell
+        raise KeyError(name)
+
+    @property
+    def inverter(self) -> Cell:
+        """The library's inverter."""
+        return self.cell_by_name("INV")

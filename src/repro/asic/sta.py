@@ -1,0 +1,79 @@
+"""Static timing analysis over mapped netlists.
+
+A linear-delay cell model (``delay = intrinsic + resistance × load``) with a
+fanout-based wire-load model provides arrival times, required times, slacks,
+and the two summary metrics of Table III: WNS (worst negative slack) and TNS
+(total negative slack over all endpoints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.asic.place import Placement, wire_capacitance
+from repro.asic.techmap import Gate, Netlist
+
+
+@dataclass
+class TimingReport:
+    """STA results for one netlist at one clock period."""
+
+    clock_period: float
+    arrival: Dict[str, float]
+    slack_by_output: Dict[str, float]
+    wns: float
+    tns: float
+    critical_path_delay: float
+
+    @property
+    def met(self) -> bool:
+        """True when every endpoint meets the clock."""
+        return self.wns >= 0.0
+
+
+def net_loads(netlist: Netlist,
+              placement: Optional[Placement] = None) -> Dict[str, float]:
+    """Capacitive load per net: fanin pin caps plus wire capacitance."""
+    loads: Dict[str, float] = {}
+    readers = netlist.fanout_map()
+    output_nets = {net for _port, net in netlist.outputs}
+    for net, gates in readers.items():
+        pin_cap = sum(g.cell.input_cap for g in gates)
+        fanout = len(gates) + (1 if net in output_nets else 0)
+        loads[net] = pin_cap + wire_capacitance(net, fanout, placement)
+    for net in output_nets:
+        if net not in loads:
+            loads[net] = wire_capacitance(net, 1, placement) + 1.0
+    return loads
+
+
+def analyze_timing(netlist: Netlist, clock_period: float,
+                   placement: Optional[Placement] = None) -> TimingReport:
+    """Forward arrival propagation + endpoint slack summary."""
+    loads = net_loads(netlist, placement)
+    arrival: Dict[str, float] = {net: 0.0 for net in netlist.inputs}
+    arrival["tie0"] = 0.0
+    arrival["tie1"] = 0.0
+    for gate in netlist.gates:  # emission order is topological
+        at = 0.0
+        for net in gate.inputs:
+            at = max(at, arrival.get(net, 0.0))
+        load = loads.get(gate.output, 0.0)
+        arrival[gate.output] = at + gate.cell.intrinsic + \
+            gate.cell.resistance * 0.01 * load
+    slack_by_output: Dict[str, float] = {}
+    wns = 0.0
+    tns = 0.0
+    critical = 0.0
+    for port, net in netlist.outputs:
+        at = arrival.get(net, 0.0)
+        critical = max(critical, at)
+        slack = clock_period - at
+        slack_by_output[port] = slack
+        if slack < 0:
+            tns += slack
+            wns = min(wns, slack)
+    return TimingReport(clock_period=clock_period, arrival=arrival,
+                        slack_by_output=slack_by_output, wns=wns, tns=tns,
+                        critical_path_delay=critical)

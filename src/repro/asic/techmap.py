@@ -1,0 +1,167 @@
+"""Standard-cell technology mapping (AIG → gate netlist).
+
+Cut-based structural mapping in the style of the LUT mapper, but with
+library matching: each node's 3-feasible cuts are matched against the cell
+library; cut selection minimizes area flow; inverters required by pin/output
+phases are materialized (and shared per signal) when the netlist is emitted.
+Every 2-feasible cut always matches (the library covers all 2-input
+functions up to phases), so mapping never fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.aig.aig import Aig, lit_node
+from repro.aig.cuts import enumerate_cuts
+from repro.asic.celllib import Cell, CellLibrary, Match
+
+
+@dataclass
+class Gate:
+    """A cell instance: output net, cell, and input nets."""
+
+    name: str
+    cell: Cell
+    inputs: List[str]
+    output: str
+
+
+@dataclass
+class Netlist:
+    """A mapped gate-level netlist."""
+
+    name: str
+    gates: List[Gate] = field(default_factory=list)
+    inputs: List[str] = field(default_factory=list)
+    outputs: List[Tuple[str, str]] = field(default_factory=list)  # (port, net)
+
+    @property
+    def area(self) -> float:
+        """Total cell area."""
+        return sum(g.cell.area for g in self.gates)
+
+    @property
+    def leakage(self) -> float:
+        """Total leakage."""
+        return sum(g.cell.leakage for g in self.gates)
+
+    def fanout_map(self) -> Dict[str, List[Gate]]:
+        """Net → gates reading it."""
+        readers: Dict[str, List[Gate]] = {}
+        for gate in self.gates:
+            for net in gate.inputs:
+                readers.setdefault(net, []).append(gate)
+        return readers
+
+    def driver_map(self) -> Dict[str, Gate]:
+        """Net → driving gate (primary inputs have no driver)."""
+        return {g.output: g for g in self.gates}
+
+
+def tech_map(aig: Aig, library: Optional[CellLibrary] = None,
+             k: int = 3) -> Netlist:
+    """Map *aig* onto the library; returns a :class:`Netlist`.
+
+    Net naming: ``n<node>`` for positive node signals, ``n<node>_b`` for
+    complemented ones, ``pi<i>``/PI names for inputs.
+    """
+    library = library or CellLibrary()
+    cuts = enumerate_cuts(aig, k=k, cut_limit=8, compute_tables=True)
+    order = aig.topological_order()
+    refs: Dict[int, int] = {}
+    for n in order:
+        for f in aig.fanins(n):
+            refs[lit_node(f)] = refs.get(lit_node(f), 0) + 1
+    for po in aig.pos():
+        refs[lit_node(po)] = refs.get(lit_node(po), 0) + 1
+
+    best: Dict[int, Tuple[Match, Tuple[int, ...]]] = {}
+    area_flow: Dict[int, float] = {0: 0.0}
+    for p in aig.pis():
+        area_flow[p] = 0.0
+    for node in order:
+        best_key = None
+        chosen = None
+        for cut in cuts[node]:
+            if len(cut.leaves) == 1 and cut.leaves[0] == node:
+                continue
+            if cut.table is None:
+                continue
+            match = library.match(cut.table, len(cut.leaves))
+            if match is None:
+                continue
+            flow = match.cell.area + 0.45 * match.num_inverters
+            for leaf in cut.leaves:
+                flow += area_flow[leaf] / max(1, refs.get(leaf, 1))
+            if best_key is None or flow < best_key:
+                best_key = flow
+                chosen = (match, cut.leaves)
+        if chosen is None:  # pragma: no cover - library covers all 2-cuts
+            raise RuntimeError(f"unmappable node {node}")
+        best[node] = chosen
+        area_flow[node] = best_key
+
+    return _emit(aig, best, library)
+
+
+def _emit(aig: Aig, best: Dict[int, Tuple[Match, Tuple[int, ...]]],
+          library: CellLibrary) -> Netlist:
+    from repro.aig.aig import lit_is_compl
+    netlist = Netlist(aig.name)
+    net_of: Dict[Tuple[int, bool], str] = {}
+    counter = [0]
+
+    for i, p in enumerate(aig.pis()):
+        name = aig.pi_name(i)
+        netlist.inputs.append(name)
+        net_of[(p, False)] = name
+
+    const_emitted: Dict[bool, str] = {}
+
+    def const_net(value: bool) -> str:
+        if value not in const_emitted:
+            # Model constants as a tied cell: an XOR2/XNOR2 of a PI with
+            # itself would be wasteful; use a named tie net instead.
+            const_emitted[value] = "tie1" if value else "tie0"
+        return const_emitted[value]
+
+    import sys
+    if sys.getrecursionlimit() < 100_000:
+        sys.setrecursionlimit(100_000)
+
+    def signal(node: int, compl: bool) -> str:
+        if node == 0:
+            return const_net(compl)  # const0 complemented = const1
+        key = (node, compl)
+        if key in net_of:
+            return net_of[key]
+        if (node, not compl) not in net_of and aig.is_and(node):
+            # Emit the cell; it produces the phase its match yields natively.
+            match, leaves = best[node]
+            pins = []
+            for j in range(match.cell.num_inputs):
+                leaf = leaves[match.pin_leaf[j]]
+                pins.append(signal(leaf, match.pin_compl[j]))
+            raw_phase = match.output_compl
+            raw = f"n{node}_b" if raw_phase else f"n{node}"
+            counter[0] += 1
+            netlist.gates.append(Gate(f"g{counter[0]}", match.cell, pins, raw))
+            net_of[(node, raw_phase)] = raw
+            if raw_phase == compl:
+                return raw
+        # The opposite phase exists: add one shared inverter.
+        other = net_of[(node, not compl)]
+        out = f"n{node}_b" if compl else f"n{node}"
+        counter[0] += 1
+        netlist.gates.append(Gate(f"inv{counter[0]}", library.inverter,
+                                  [other], out))
+        net_of[key] = out
+        return out
+
+    # Emit cones for mapped roots reachable from POs.
+    for i, po in enumerate(aig.pos()):
+        net = signal(lit_node(po), lit_is_compl(po))
+        netlist.outputs.append((aig.po_name(i), net))
+    return netlist

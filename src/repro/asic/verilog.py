@@ -1,0 +1,121 @@
+"""Structural Verilog export of mapped netlists.
+
+The ASIC flow's deliverable in practice is a gate-level netlist; this writer
+emits the mapped design as structural Verilog over the generic cell library
+(one module per design, one instance per gate), plus the library itself as
+behavioural primitives so the output is simulable by any Verilog tool.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Set, TextIO, Union
+
+from repro.asic.celllib import Cell, CellLibrary
+from repro.asic.techmap import Gate, Netlist
+from repro.tt.truthtable import TruthTable
+from repro.tt.isop import isop_table
+from repro.sop.sop import Sop
+from repro.sop.factor import factor, factored_pretty
+
+
+def _verilog_expression(cell: Cell) -> str:
+    """Behavioural expression of a cell function over inputs a, b, c, ..."""
+    names = [chr(ord("a") + i) for i in range(cell.num_inputs)]
+    table = TruthTable(cell.table, cell.num_inputs)
+    if table.is_const0():
+        return "1'b0"
+    if table.is_const1():
+        return "1'b1"
+    form = factor(Sop(isop_table(table)))
+    return _form_to_verilog(form, names)
+
+
+def _form_to_verilog(form, names) -> str:
+    kind = form[0]
+    if kind == "const":
+        return "1'b1" if form[1] else "1'b0"
+    if kind == "lit":
+        name = names[form[1]]
+        return name if form[2] else f"~{name}"
+    operator = " & " if kind == "and" else " | "
+    parts = []
+    for child in form[1]:
+        text = _form_to_verilog(child, names)
+        if child[0] in ("and", "or") and child[0] != kind:
+            text = f"({text})"
+        parts.append(text)
+    return operator.join(parts)
+
+
+def write_library(library: CellLibrary, target: TextIO) -> None:
+    """Emit behavioural modules for every cell of the library."""
+    for cell in library.cells:
+        ports = [chr(ord("a") + i) for i in range(cell.num_inputs)]
+        target.write(f"module {cell.name} ({', '.join(ports)}, y);\n")
+        for port in ports:
+            target.write(f"  input {port};\n")
+        target.write("  output y;\n")
+        target.write(f"  assign y = {_verilog_expression(cell)};\n")
+        target.write("endmodule\n\n")
+
+
+def write_verilog(netlist: Netlist, target: Union[str, TextIO],
+                  library: CellLibrary = None,
+                  include_library: bool = True) -> None:
+    """Write *netlist* as structural Verilog.
+
+    With ``include_library`` the generic cells are emitted as behavioural
+    modules first, making the file self-contained.
+    """
+    if isinstance(target, str):
+        with open(target, "w", encoding="ascii") as handle:
+            write_verilog(netlist, handle, library, include_library)
+            return
+    if include_library:
+        write_library(library or CellLibrary(), target)
+    module = _sanitize(netlist.name)
+    inputs = [_sanitize(n) for n in netlist.inputs]
+    outputs = [_sanitize(port) for port, _net in netlist.outputs]
+    ports = inputs + outputs
+    target.write(f"module {module} ({', '.join(ports)});\n")
+    for name in inputs:
+        target.write(f"  input {name};\n")
+    for name in outputs:
+        target.write(f"  output {name};\n")
+    wires: Set[str] = set()
+    for gate in netlist.gates:
+        wires.add(gate.output)
+        wires.update(gate.inputs)
+    wires -= set(netlist.inputs)
+    uses_ties = {"tie0", "tie1"} & wires
+    for wire in sorted(wires):
+        target.write(f"  wire {_sanitize(wire)};\n")
+    if "tie0" in uses_ties:
+        target.write("  assign tie0 = 1'b0;\n")
+    if "tie1" in uses_ties:
+        target.write("  assign tie1 = 1'b1;\n")
+    for gate in netlist.gates:
+        pins = [f".{chr(ord('a') + i)}({_sanitize(net)})"
+                for i, net in enumerate(gate.inputs)]
+        pins.append(f".y({_sanitize(gate.output)})")
+        target.write(f"  {gate.cell.name} {gate.name} ({', '.join(pins)});\n")
+    for port, net in netlist.outputs:
+        target.write(f"  assign {_sanitize(port)} = {_sanitize(net)};\n")
+    target.write("endmodule\n")
+
+
+def write_verilog_string(netlist: Netlist,
+                         library: CellLibrary = None,
+                         include_library: bool = True) -> str:
+    """Serialize to a Verilog string."""
+    buffer = io.StringIO()
+    write_verilog(netlist, buffer, library, include_library)
+    return buffer.getvalue()
+
+
+def _sanitize(name: str) -> str:
+    out = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    if out and out[0].isdigit():
+        out = "n" + out
+    return out or "unnamed"

@@ -1,0 +1,9 @@
+"""Binary Decision Diagram package (Section II-A, III-C, IV-C engines)."""
+
+from repro.bdd.manager import FALSE, TRUE, BddManager
+from repro.bdd.to_aig import aig_window_to_bdds, bdd_of_literal, bdd_to_aig
+
+__all__ = [
+    "BddManager", "FALSE", "TRUE",
+    "bdd_to_aig", "aig_window_to_bdds", "bdd_of_literal",
+]

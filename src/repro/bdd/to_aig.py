@@ -1,0 +1,110 @@
+"""Conversion between BDDs and AIGs.
+
+``bdd_to_aig`` implements line 15 of Alg. 1: "the implementation of the
+Boolean difference node as an AIG, obtained using structural hashing
+(strashing) on the corresponding BDD" — every BDD node becomes a strashed
+multiplexer, so shared BDD subgraphs become shared AIG logic and existing
+network gates are reused automatically.
+
+``aig_window_to_bdds`` precomputes "the BDDs for all nodes in the partition"
+(Alg. 2, line 3) by a single topological sweep over a window of the AIG.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.aig.aig import Aig, lit_is_compl, lit_node
+from repro.bdd.manager import FALSE, TRUE, BddManager
+from repro.errors import BddLimitError
+
+
+def bdd_to_aig(manager: BddManager, root: int, aig: Aig,
+               var_literals: Sequence[int],
+               known: Optional[Dict[int, int]] = None) -> int:
+    """Build AIG logic implementing BDD *root*; returns the output literal.
+
+    ``var_literals[i]`` is the AIG literal driving BDD variable *i*.  Shared
+    BDD nodes are built once (memoized), and :meth:`Aig.add_mux` strashes each
+    multiplexer against the existing network.
+
+    ``known`` optionally seeds the memo with BDD-node → existing-AIG-literal
+    entries; this implements both the hash-table reuse of Alg. 1 lines 5–7
+    ("if bdd_diff already exists in all_bdds, return corresponding node") and
+    the "nodes sharing" term of its saving estimate — any sub-BDD that equals
+    an existing node's function costs nothing to implement.
+    """
+    memo: Dict[int, int] = {FALSE: 0, TRUE: 1}
+    if known:
+        memo.update(known)
+        memo[FALSE] = 0
+        memo[TRUE] = 1
+    # Iterative post-order DFS: children are built before their parents.
+    stack: List[int] = [root]
+    state: Dict[int, int] = {}
+    while stack:
+        node = stack[-1]
+        if node in memo:
+            stack.pop()
+            continue
+        if state.get(node) is None:
+            state[node] = 1
+            for child in (manager.low(node), manager.high(node)):
+                if child not in memo:
+                    stack.append(child)
+        else:
+            sel = var_literals[manager.var_of(node)]
+            memo[node] = aig.add_mux(sel,
+                                     memo[manager.high(node)],
+                                     memo[manager.low(node)])
+            stack.pop()
+    return memo[root]
+
+
+def aig_window_to_bdds(aig: Aig, nodes_in_topo: Iterable[int],
+                       leaf_bdds: Dict[int, int], manager: BddManager,
+                       size_zero_on_limit: bool = True) -> Dict[int, int]:
+    """Compute BDDs for AIG nodes given BDDs for their window leaves.
+
+    Parameters
+    ----------
+    nodes_in_topo:
+        AND nodes of the window in topological order; all fanins must be in
+        *leaf_bdds* or appear earlier in the iteration.
+    leaf_bdds:
+        Mapping from leaf node id (PI or cut boundary) to its BDD node.
+    size_zero_on_limit:
+        When the manager's node limit trips, record the node as absent
+        (the paper "sets the BDD size of the node to 0" and skips it).
+
+    Returns a dict from AIG node id to BDD node; nodes whose construction
+    bailed out are missing from the dict.
+    """
+    bdds: Dict[int, int] = dict(leaf_bdds)
+    bdds[0] = FALSE
+    for n in nodes_in_topo:
+        f0, f1 = aig.fanins(n)
+        b0 = bdds.get(lit_node(f0))
+        b1 = bdds.get(lit_node(f1))
+        if b0 is None or b1 is None:
+            continue  # a fanin already bailed out
+        if lit_is_compl(f0):
+            b0 = manager.negate(b0)
+        if lit_is_compl(f1):
+            b1 = manager.negate(b1)
+        try:
+            bdds[n] = manager.apply_and(b0, b1)
+        except BddLimitError:
+            if not size_zero_on_limit:
+                raise
+            # Leave the node absent: treated as BDD size 0 downstream.
+    return bdds
+
+
+def bdd_of_literal(aig_literal: int, bdds: Dict[int, int],
+                   manager: BddManager) -> Optional[int]:
+    """BDD of an AIG literal given node BDDs (None if the node bailed out)."""
+    node_bdd = bdds.get(lit_node(aig_literal))
+    if node_bdd is None:
+        return None
+    return manager.negate(node_bdd) if lit_is_compl(aig_literal) else node_bdd

@@ -1,0 +1,18 @@
+"""Benchmark generators: the EPFL suite rebuilt from function definitions."""
+
+from repro.bench.registry import (
+    BENCHMARKS,
+    Benchmark,
+    PAPER,
+    PaperReference,
+    TABLE1_BENCHMARKS,
+    TABLE2_BENCHMARKS,
+    benchmark_names,
+    get_benchmark,
+)
+
+__all__ = [
+    "BENCHMARKS", "Benchmark", "PAPER", "PaperReference",
+    "TABLE1_BENCHMARKS", "TABLE2_BENCHMARKS",
+    "get_benchmark", "benchmark_names",
+]

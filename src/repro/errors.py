@@ -1,0 +1,26 @@
+"""Exception types shared across the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class AigError(ReproError):
+    """Raised on structural misuse of an :class:`repro.aig.Aig`."""
+
+
+class BddLimitError(ReproError):
+    """Raised when a BDD operation exceeds the manager's node/memory limit.
+
+    The paper (Sections III-C and IV-C) bails out of BDD construction when a
+    memory limit is hit and treats the offending node as having BDD size 0;
+    callers catch this exception to implement that behaviour.
+    """
+
+
+class SatError(ReproError):
+    """Raised on malformed CNF input or solver misuse."""
+
+
+class BenchmarkError(ReproError):
+    """Raised when a benchmark generator receives unsupported parameters."""

@@ -1,0 +1,9 @@
+"""Experiment harnesses regenerating every table and figure of the paper."""
+
+from repro.experiments import ablation, fig1, runtime, table1, table2, table3
+from repro.experiments.report import Row, format_table, improvement
+
+__all__ = [
+    "fig1", "runtime", "table1", "table2", "table3", "ablation",
+    "Row", "format_table", "improvement",
+]

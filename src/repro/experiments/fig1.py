@@ -1,0 +1,94 @@
+"""Figure 1 — the Boolean difference example.
+
+Fig. 1(a) shows a 5-input network computing two functions ``f`` and ``g``
+that share most of their logic; Fig. 1(b) shows ``f`` rewritten as
+``f = ∂f/∂g ⊕ g``, where the small Boolean-difference network replaces
+``f``'s private cone and "the total number of nodes is reduced".
+
+The exact gate netlist of the figure is not machine-readable from the text,
+so the experiment constructs a network with the same property — ``f`` built
+expansively, ``g`` compact, difference ``f ⊕ g`` tiny — runs the
+Boolean-difference engine, and reports the size reduction together with the
+rewrite's structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aig.aig import Aig, lit_not
+from repro.sat.equivalence import check_equivalence
+from repro.sbm.boolean_difference import (
+    BooleanDifferenceStats,
+    boolean_difference_pass,
+)
+
+
+@dataclass
+class Fig1Result:
+    """Outcome of the Figure 1 demonstration."""
+
+    size_before: int
+    size_after: int
+    stats: BooleanDifferenceStats
+    verified: bool
+
+    @property
+    def reduced(self) -> bool:
+        """The figure's claim: the rewrite reduces the node count."""
+        return self.size_after < self.size_before
+
+
+def build_fig1_network() -> Aig:
+    """A 5-input network in the spirit of Fig. 1(a).
+
+    ``g = x1·x2 + x3·(x4 + x5)`` is the gray shared function; ``f`` equals
+    ``g ⊕ (x1·x5)`` but is built as a flat two-level expansion with no XOR
+    structure, so its private cone is large.
+    """
+    aig = Aig("fig1")
+    x1, x2, x3, x4, x5 = aig.add_pis(5)
+    g = aig.add_or(aig.add_and(x1, x2),
+                   aig.add_and(x3, aig.add_or(x4, x5)))
+    d = aig.add_and(x1, x5)
+    # f = g·!d + !g·d, expanded over the primary inputs without sharing.
+    t1 = aig.add_and(x1, aig.add_and(x2, lit_not(aig.add_and(x1, x5))))
+    t2 = aig.add_and(x3, aig.add_and(aig.add_or(x4, x5),
+                                     lit_not(aig.add_and(x1, x5))))
+    t3 = aig.add_and(aig.add_and(x1, x5), lit_not(g))
+    f = aig.add_or(aig.add_or(t1, t2), t3)
+    aig.add_po(f, "f")
+    aig.add_po(g, "g")
+    return aig.cleanup()
+
+
+def run_fig1() -> Fig1Result:
+    """Run the Boolean-difference engine on the Fig. 1 network."""
+    aig = build_fig1_network()
+    reference = aig.cleanup()
+    before = aig.num_ands
+    stats = boolean_difference_pass(aig)
+    after = aig.cleanup().num_ands
+    ok, _ = check_equivalence(reference, aig.cleanup())
+    return Fig1Result(size_before=before, size_after=after, stats=stats,
+                      verified=ok)
+
+
+def format_result(result: Fig1Result) -> str:
+    """Human-readable summary of the Figure 1 demonstration."""
+    return (
+        "Figure 1 — Boolean difference example, reproduced\n"
+        f"  network size before rewrite : {result.size_before}\n"
+        f"  network size after  rewrite : {result.size_after}\n"
+        f"  pairs tried / rewrites      : {result.stats.pairs_tried} / "
+        f"{result.stats.rewrites}\n"
+        f"  functionally verified       : {'yes' if result.verified else 'NO'}\n"
+        f"  (paper: rewriting f as ∂f/∂g ⊕ g reduces the total node count)")
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(format_result(run_fig1()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

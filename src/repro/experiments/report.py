@@ -1,0 +1,45 @@
+"""Result-row structures and table formatting for the experiment harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+@dataclass
+class Row:
+    """One benchmark row of a reproduced table."""
+
+    benchmark: str
+    values: Dict[str, Any] = field(default_factory=dict)
+
+
+def format_table(title: str, columns: Sequence[str], rows: List[Row]) -> str:
+    """Render rows in the paper's table style (fixed-width text)."""
+    widths = {c: max(len(c), *(len(_fmt(r.values.get(c))) for r in rows))
+              if rows else len(c) for c in columns}
+    name_width = max([len("Benchmark")] + [len(r.benchmark) for r in rows])
+    lines = [title]
+    header = "Benchmark".ljust(name_width) + "  " + "  ".join(
+        c.rjust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(row.benchmark.ljust(name_width) + "  " + "  ".join(
+            _fmt(row.values.get(c)).rjust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def improvement(baseline: float, improved: float) -> Optional[float]:
+    """Relative improvement in percent (positive = better/smaller)."""
+    if not baseline:
+        return None
+    return 100.0 * (baseline - improved) / baseline

@@ -1,0 +1,121 @@
+"""Table I — "New Best Area Results For The EPFL Suite" (LUT-6 mapping).
+
+The paper optimizes each EPFL benchmark with the SBM flow, maps onto LUT-6
+with ABC's ``if -K 6 -a``, and improves 12 previous best area results.  The
+previous bests came from years of competition entries we cannot rerun, so
+the reproduced comparison is **baseline script (resyn2rs) + LUT-6 map** vs
+**SBM flow + LUT-6 map** on the same (scaled) benchmark — the shape to
+reproduce is that the Boolean methods win the area category on most rows.
+Paper LUT counts at native widths are printed alongside for reference.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.bench.registry import BENCHMARKS, TABLE1_BENCHMARKS, get_benchmark
+from repro.experiments.report import Row, format_table
+from repro.mapping.lut import map_luts
+from repro.opt.scripts import resyn2rs
+from repro.sat.equivalence import check_equivalence
+from repro.sbm.config import FlowConfig
+from repro.sbm.flow import sbm_flow
+
+
+@dataclass
+class Table1Result:
+    """Per-benchmark Table I reproduction record."""
+
+    benchmark: str
+    io: str
+    baseline_luts: int
+    baseline_levels: int
+    sbm_luts: int
+    sbm_levels: int
+    paper_luts: Optional[int]
+    paper_levels: Optional[int]
+    verified: bool
+    runtime_s: float
+
+    @property
+    def improved(self) -> bool:
+        """True when SBM beat the baseline mapping (the paper's claim shape)."""
+        return self.sbm_luts <= self.baseline_luts
+
+
+def run_table1(benchmarks: Optional[Sequence[str]] = None,
+               scaled: bool = True,
+               flow_config: Optional[FlowConfig] = None,
+               verify: bool = True) -> List[Table1Result]:
+    """Reproduce Table I on the selected benchmarks."""
+    names = list(benchmarks) if benchmarks else list(TABLE1_BENCHMARKS)
+    flow_config = flow_config or FlowConfig(iterations=1)
+    results: List[Table1Result] = []
+    for name in names:
+        start = time.time()
+        original = get_benchmark(name, scaled=scaled)
+        baseline = resyn2rs(original.cleanup(), max_iterations=2)
+        base_map = map_luts(baseline, k=6)
+        # The paper both re-optimizes the original unoptimized AIGs and runs
+        # "over previous best results" (Section V-B); reproduce by starting
+        # the SBM flow from each and keeping the better LUT mapping.
+        optimized, _stats = sbm_flow(original, flow_config)
+        sbm_map = map_luts(optimized, k=6)
+        from_best, _stats2 = sbm_flow(baseline, flow_config)
+        alt_map = map_luts(from_best, k=6)
+        if (alt_map.area, alt_map.depth) < (sbm_map.area, sbm_map.depth):
+            optimized, sbm_map = from_best, alt_map
+        verified = True
+        if verify:
+            ok, _ = check_equivalence(original, optimized)
+            verified = ok
+        ref = BENCHMARKS[name].reference
+        results.append(Table1Result(
+            benchmark=name,
+            io=f"{original.num_pis}/{original.num_pos}",
+            baseline_luts=base_map.area,
+            baseline_levels=base_map.depth,
+            sbm_luts=sbm_map.area,
+            sbm_levels=sbm_map.depth,
+            paper_luts=ref.table1_luts,
+            paper_levels=ref.table1_levels,
+            verified=verified,
+            runtime_s=time.time() - start,
+        ))
+    return results
+
+
+def format_results(results: List[Table1Result]) -> str:
+    """Paper-style rendering of the reproduced Table I."""
+    rows = []
+    for r in results:
+        rows.append(Row(r.benchmark, {
+            "I/O": r.io,
+            "base LUT-6": r.baseline_luts,
+            "base lev": r.baseline_levels,
+            "SBM LUT-6": r.sbm_luts,
+            "SBM lev": r.sbm_levels,
+            "paper LUT-6": r.paper_luts,
+            "paper lev": r.paper_levels,
+            "eq": "ok" if r.verified else "FAIL",
+        }))
+    improved = sum(1 for r in results if r.improved)
+    table = format_table(
+        "Table I — New Best Area Results (LUT-6), reproduced",
+        ["I/O", "base LUT-6", "base lev", "SBM LUT-6", "SBM lev",
+         "paper LUT-6", "paper lev", "eq"], rows)
+    return (f"{table}\n"
+            f"SBM matched or beat the baseline mapping on "
+            f"{improved}/{len(results)} benchmarks "
+            f"(paper: improved 12 best known results).")
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    results = run_table1()
+    print(format_results(results))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

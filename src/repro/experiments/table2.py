@@ -1,0 +1,118 @@
+"""Table II — "Smallest AIG Results For The EPFL Suite".
+
+The paper reports the smallest AIGs its optimization methodology produced,
+"smaller as compared to the state-of-the-art" — e.g. 1.5× smaller than the
+previous smallest known arbiter AIG (obtained by strashing the best LUT-6
+result and running ``resyn2rs`` to convergence).  The reproduced comparison
+mirrors that: **resyn2rs-to-convergence** (the state-of-the-art proxy) vs
+the **SBM flow**, with the paper's native-width sizes printed alongside.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.bench.registry import BENCHMARKS, TABLE2_BENCHMARKS, get_benchmark
+from repro.experiments.report import Row, format_table
+from repro.opt.scripts import resyn2rs
+from repro.sat.equivalence import check_equivalence
+from repro.sbm.config import FlowConfig
+from repro.sbm.flow import sbm_flow
+
+
+@dataclass
+class Table2Result:
+    """Per-benchmark Table II reproduction record."""
+
+    benchmark: str
+    io: str
+    original_size: int
+    baseline_size: int
+    baseline_levels: int
+    sbm_size: int
+    sbm_levels: int
+    paper_size: Optional[int]
+    paper_levels: Optional[int]
+    verified: bool
+    runtime_s: float
+
+    @property
+    def improved(self) -> bool:
+        """True when the SBM AIG is no larger than the baseline's."""
+        return self.sbm_size <= self.baseline_size
+
+
+def run_table2(benchmarks: Optional[Sequence[str]] = None,
+               scaled: bool = True,
+               flow_config: Optional[FlowConfig] = None,
+               verify: bool = True) -> List[Table2Result]:
+    """Reproduce Table II on the selected benchmarks."""
+    names = list(benchmarks) if benchmarks else list(TABLE2_BENCHMARKS)
+    flow_config = flow_config or FlowConfig(iterations=1)
+    results: List[Table2Result] = []
+    for name in names:
+        start = time.time()
+        original = get_benchmark(name, scaled=scaled)
+        baseline = resyn2rs(original.cleanup(), max_iterations=3)
+        optimized, _stats = sbm_flow(original, flow_config)
+        # The SBM flow subsumes the baseline script, so also give it the
+        # baseline's result as a starting point (the paper's flow likewise
+        # starts from the best known implementations).
+        if baseline.num_ands < optimized.num_ands:
+            improved_from_baseline, _s = sbm_flow(baseline, flow_config)
+            if improved_from_baseline.num_ands < optimized.num_ands:
+                optimized = improved_from_baseline
+        verified = True
+        if verify:
+            ok, _ = check_equivalence(original, optimized)
+            verified = ok
+        ref = BENCHMARKS[name].reference
+        results.append(Table2Result(
+            benchmark=name,
+            io=f"{original.num_pis}/{original.num_pos}",
+            original_size=original.num_ands,
+            baseline_size=baseline.num_ands,
+            baseline_levels=baseline.depth,
+            sbm_size=optimized.num_ands,
+            sbm_levels=optimized.depth,
+            paper_size=ref.table2_size,
+            paper_levels=ref.table2_levels,
+            verified=verified,
+            runtime_s=time.time() - start,
+        ))
+    return results
+
+
+def format_results(results: List[Table2Result]) -> str:
+    """Paper-style rendering of the reproduced Table II."""
+    rows = []
+    for r in results:
+        rows.append(Row(r.benchmark, {
+            "I/O": r.io,
+            "orig": r.original_size,
+            "resyn2rs": r.baseline_size,
+            "SBM size": r.sbm_size,
+            "SBM lev": r.sbm_levels,
+            "paper size": r.paper_size,
+            "paper lev": r.paper_levels,
+            "eq": "ok" if r.verified else "FAIL",
+        }))
+    improved = sum(1 for r in results if r.improved)
+    table = format_table(
+        "Table II — Smallest AIG Results, reproduced",
+        ["I/O", "orig", "resyn2rs", "SBM size", "SBM lev",
+         "paper size", "paper lev", "eq"], rows)
+    return (f"{table}\n"
+            f"SBM matched or beat resyn2rs on {improved}/{len(results)} "
+            f"benchmarks (paper: smaller than state-of-the-art throughout).")
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    results = run_table2()
+    print(format_results(results))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,151 @@
+"""Table III — "Post Place&Route Results on 33 Industrial Designs".
+
+The paper's flow comparison, reproduced on the 33 synthetic industrial
+designs: the proposed flow (baseline + SBM) against the baseline flow, with
+all metrics reported as average relative deltas exactly as the paper
+formats them (baseline normalized to 1):
+
+    Comb. Area −2.20%   No-clk Dyn. Pow. −1.15%   WNS −0.56%
+    TNS −5.99%          Runtime +1.75%
+
+The *shape* to match: area, power, and TNS improve by a few percent while
+runtime pays a small premium.  (Our runtime premium is much larger than
++1.75% because the baseline script is also pure Python while the paper adds
+SBM to a mature C++ flow; the sign is what carries over.)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.asic.designs import IndustrialDesign, industrial_designs
+from repro.asic.flow import ImplementationResult, baseline_flow, proposed_flow
+from repro.experiments.report import Row, format_table
+from repro.sbm.config import FlowConfig
+
+
+#: The paper's Table III row for the proposed flow (relative to baseline).
+PAPER_DELTAS = {
+    "comb_area": -2.20,
+    "dyn_power": -1.15,
+    "wns": -0.56,
+    "tns": -5.99,
+    "runtime": +1.75,
+}
+
+
+@dataclass
+class Table3Result:
+    """Per-design pair of flow results."""
+
+    design: str
+    baseline: ImplementationResult
+    proposed: ImplementationResult
+
+    def delta(self, metric: str) -> Optional[float]:
+        """Relative delta in percent (negative = proposed smaller/better)."""
+        base = getattr(self.baseline, metric)
+        prop = getattr(self.proposed, metric)
+        if metric in ("wns", "tns"):
+            # Slack metrics are ≤ 0; report change in violation magnitude.
+            base_mag, prop_mag = -base, -prop
+            if base_mag <= 1e-12:
+                return None
+            return 100.0 * (prop_mag - base_mag) / base_mag
+        if abs(base) < 1e-12:
+            return None
+        return 100.0 * (prop - base) / base
+
+
+@dataclass
+class Table3Summary:
+    """Averages over all designs, in the paper's normalized format."""
+
+    results: List[Table3Result] = field(default_factory=list)
+
+    def average_delta(self, metric: str) -> Optional[float]:
+        """Mean relative delta over designs where it is defined."""
+        deltas = [r.delta(metric) for r in self.results]
+        deltas = [d for d in deltas if d is not None]
+        if not deltas:
+            return None
+        return sum(deltas) / len(deltas)
+
+    def all_verified(self) -> bool:
+        """True when every run passed equivalence checking."""
+        return all(r.baseline.verified and r.proposed.verified
+                   for r in self.results)
+
+
+def run_table3(num_designs: int = 33, verify: bool = True,
+               sbm_config: Optional[FlowConfig] = None,
+               clock_margin: float = 0.96) -> Table3Summary:
+    """Run both flows on the synthetic industrial suite.
+
+    The clock target of each design is set to ``clock_margin ×`` the
+    *baseline flow's achieved* critical path, so the baseline starts with a
+    small timing violation — the regime in which Table III's WNS/TNS columns
+    are meaningful.
+    """
+    from repro.asic.place import place
+    from repro.asic.sta import analyze_timing
+    summary = Table3Summary()
+    for design in industrial_designs(num_designs):
+        base = baseline_flow(design.aig, clock_period=1e9, verify=verify,
+                             keep_netlist=True)
+        placement = place(base.netlist)
+        unconstrained = analyze_timing(base.netlist, 1e9, placement)
+        period = unconstrained.critical_path_delay * clock_margin
+        timing = analyze_timing(base.netlist, period, placement)
+        base.wns = timing.wns
+        base.tns = timing.tns
+        prop = proposed_flow(design.aig, period, verify=verify,
+                             sbm_config=sbm_config)
+        summary.results.append(Table3Result(design.name, base, prop))
+    return summary
+
+
+def format_summary(summary: Table3Summary) -> str:
+    """Paper-style Table III rendering plus the per-design breakdown."""
+    rows = []
+    for r in summary.results:
+        rows.append(Row(r.design, {
+            "area(b)": round(r.baseline.combinational_area, 1),
+            "area(p)": round(r.proposed.combinational_area, 1),
+            "pow(b)": round(r.baseline.dynamic_power, 1),
+            "pow(p)": round(r.proposed.dynamic_power, 1),
+            "tns(b)": round(r.baseline.tns, 3),
+            "tns(p)": round(r.proposed.tns, 3),
+            "eq": "ok" if (r.baseline.verified and r.proposed.verified) else "FAIL",
+        }))
+    per_design = format_table("Table III — per-design results",
+                              ["area(b)", "area(p)", "pow(b)", "pow(p)",
+                               "tns(b)", "tns(p)", "eq"], rows)
+    lines = [per_design, "",
+             "Table III — averages relative to baseline (paper in parens):"]
+    labels = {
+        "combinational_area": ("Comb. Area", "comb_area"),
+        "dynamic_power": ("No-clk Dyn. Pow.", "dyn_power"),
+        "wns": ("WNS", "wns"),
+        "tns": ("TNS", "tns"),
+        "runtime_s": ("Runtime", "runtime"),
+    }
+    for metric, (label, paper_key) in labels.items():
+        avg = summary.average_delta(metric)
+        paper = PAPER_DELTAS[paper_key]
+        shown = f"{avg:+.2f}%" if avg is not None else "n/a"
+        lines.append(f"  {label:18s} {shown:>9s}   (paper: {paper:+.2f}%)")
+    lines.append(f"  equivalence checks: "
+                 f"{'all passed' if summary.all_verified() else 'FAILURES'}")
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    summary = run_table3(num_designs=6)
+    print(format_summary(summary))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

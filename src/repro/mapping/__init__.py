@@ -1,0 +1,5 @@
+"""Technology mapping: K-LUT mapping and standard-cell mapping."""
+
+from repro.mapping.lut import LutMapping, map_luts
+
+__all__ = ["LutMapping", "map_luts"]

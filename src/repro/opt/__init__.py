@@ -1,0 +1,14 @@
+"""Classic AIG optimization: balance, rewrite, refactor, resub, scripts."""
+
+from repro.opt.balance import balance
+from repro.opt.refactor import refactor, window_function
+from repro.opt.resub import resub
+from repro.opt.rewrite import RewriteLibrary, default_library, rewrite
+from repro.opt.scripts import compress2rs_step, quick_optimize, resyn2rs
+from repro.opt.shared import try_replace
+
+__all__ = [
+    "balance", "rewrite", "RewriteLibrary", "default_library",
+    "refactor", "window_function", "resub",
+    "compress2rs_step", "resyn2rs", "quick_optimize", "try_replace",
+]

@@ -1,0 +1,91 @@
+"""AND-tree balancing (the ``b`` step of classic AIG scripts).
+
+Collects maximal multi-input AND trees (stopping at complemented edges and
+multi-fanout nodes) and rebuilds them as depth-minimal trees, pairing the
+shallowest operands first — Huffman-style.  Size never increases; depth
+usually drops.  Used by the ``resyn2rs`` baseline script and as a cheap move
+in the gradient engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.aig.aig import Aig, lit_is_compl, lit_node, lit_notcond
+
+
+def balance(aig: Aig) -> Aig:
+    """Return a balanced copy of the network (same function, ≤ size)."""
+    new = Aig(aig.name)
+    mapping: Dict[int, int] = {0: 0}
+    level: Dict[int, int] = {0: 0}
+    for i, p in enumerate(aig.pis()):
+        mapping[p] = new.add_pi(aig.pi_name(i))
+        level[lit_node(mapping[p])] = 0
+    refs = _reference_counts(aig)
+    for n in aig.topological_order():
+        operands = _collect_and_tree(aig, n, refs)
+        literals = [lit_notcond(mapping[lit_node(f)], lit_is_compl(f))
+                    for f in operands]
+        mapping[n] = _balanced_and(new, literals, level)
+        level[lit_node(mapping[n])] = _literal_level(new, mapping[n], level)
+    for i, po in enumerate(aig.pos()):
+        new.add_po(lit_notcond(mapping[lit_node(po)], lit_is_compl(po)),
+                   aig.po_name(i))
+    return new.cleanup()
+
+
+def _reference_counts(aig: Aig) -> Dict[int, int]:
+    refs: Dict[int, int] = {}
+    for n in aig.topological_order():
+        for f in aig.fanins(n):
+            refs[lit_node(f)] = refs.get(lit_node(f), 0) + 1
+    for po in aig.pos():
+        refs[lit_node(po)] = refs.get(lit_node(po), 0) + 1
+    return refs
+
+
+def _collect_and_tree(aig: Aig, root: int, refs: Dict[int, int]) -> List[int]:
+    """Fanin literals of the maximal single-fanout AND tree rooted at *root*."""
+    operands: List[int] = []
+    stack = list(aig.fanins(root))
+    while stack:
+        f = stack.pop()
+        node = lit_node(f)
+        if (not lit_is_compl(f) and aig.is_and(node)
+                and refs.get(node, 0) == 1):
+            stack.extend(aig.fanins(node))
+        else:
+            operands.append(f)
+    return operands
+
+
+def _balanced_and(aig: Aig, literals: List[int], level: Dict[int, int]) -> int:
+    """AND the literals, always pairing the two shallowest operands."""
+    if not literals:
+        return 1
+    import heapq
+    heap = [(level.get(lit_node(f), 0), i, f) for i, f in enumerate(literals)]
+    heapq.heapify(heap)
+    counter = len(literals)
+    while len(heap) > 1:
+        l0, _i0, a = heapq.heappop(heap)
+        l1, _i1, b = heapq.heappop(heap)
+        combined = aig.add_and(a, b)
+        lvl = _literal_level(aig, combined, level)
+        level[lit_node(combined)] = lvl
+        heapq.heappush(heap, (lvl, counter, combined))
+        counter += 1
+    return heap[0][2]
+
+
+def _literal_level(aig: Aig, literal: int, level: Dict[int, int]) -> int:
+    node = lit_node(literal)
+    if node in level:
+        return level[node]
+    if not aig.is_and(node):
+        return 0
+    f0, f1 = aig.fanins(node)
+    lvl = 1 + max(_literal_level(aig, f0, level), _literal_level(aig, f1, level))
+    level[node] = lvl
+    return lvl

@@ -1,0 +1,193 @@
+"""Truth-table MSPF resubstitution — the baseline of [1] (Amarù et al., DATE'18).
+
+Section IV-C contrasts the SBM's BDD-based MSPF with "the work in [1]
+[which] proposed truth table methods to approximate MSPF during
+resubstitution": truth tables limit the window to ~15 leaves and make
+finding *many* connectable fanins expensive, which is precisely what the
+BDD version improves.  This module implements that truth-table baseline so
+the comparison can be reproduced (``benchmarks/bench_ablation.py``).
+
+Per partition (small windows), all member functions are computed by complete
+simulation over the leaves; a node's MSPF is the set of leaf minterms where
+flipping the node changes no window root; resubstitution then tries
+constants and single existing signals that agree on the care set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.aig.aig import Aig, lit, lit_is_compl, lit_node
+from repro.opt.shared import try_replace
+from repro.partition.partitioner import (
+    PartitionConfig,
+    Window,
+    partition_network,
+    refresh_window,
+)
+from repro.tt.truthtable import table_mask, variable_table
+
+
+@dataclass
+class TtMspfStats:
+    """Counters reported by a truth-table MSPF pass."""
+
+    partitions: int = 0
+    windows_skipped_width: int = 0
+    nodes_processed: int = 0
+    mspf_nonzero: int = 0
+    rewrites: int = 0
+    gain: int = 0
+
+
+def tt_mspf_pass(aig: Aig, max_leaves: int = 12,
+                 partition: Optional[PartitionConfig] = None) -> TtMspfStats:
+    """Run truth-table MSPF resubstitution over every partition (in place).
+
+    Windows wider than *max_leaves* are skipped — the truth-table engine's
+    inherent limitation ("small windows of logic (≈ 15 inputs)",
+    Section II-A) that the BDD version lifts.
+    """
+    # The partitioner is allowed wider windows than the truth-table engine
+    # can process: the overflowing ones are counted as skipped, which is
+    # exactly the limitation Section IV-C's BDD engine removes.
+    partition = partition or PartitionConfig(max_levels=12, max_size=150,
+                                             max_leaves=max(24, max_leaves))
+    stats = TtMspfStats()
+    for window in partition_network(aig, partition):
+        stats.partitions += 1
+        optimize_partition(aig, window, max_leaves, stats)
+    return stats
+
+
+def optimize_partition(aig: Aig, window: Window, max_leaves: int,
+                       stats: TtMspfStats) -> None:
+    """Truth-table MSPF resubstitution inside one partition."""
+    refreshed = refresh_window(aig, window)
+    if refreshed is None:
+        return
+    window = refreshed
+    if not window.leaves or len(window.leaves) > max_leaves:
+        stats.windows_skipped_width += 1
+        return
+    root_set = set(window.roots)
+    candidates = [n for n in window.nodes if n not in root_set]
+    if not candidates:
+        return
+    candidates.sort(key=lambda n: -aig.mffc_size(n))
+    tables = _window_tables(aig, window)
+    if tables is None:
+        return
+    k = len(window.leaves)
+    mask = table_mask(k)
+    for node in candidates:
+        if aig.is_dead(node) or node not in tables or node in root_set:
+            continue
+        stats.nodes_processed += 1
+        mspf = _node_mspf(aig, window, tables, node, mask)
+        if mspf == 0:
+            continue
+        stats.mspf_nonzero += 1
+        care = mask & ~mspf
+        gain = _resub_under_mspf(aig, window, tables, node, care, mask)
+        if gain:
+            stats.rewrites += 1
+            stats.gain += gain
+            refreshed = refresh_window(aig, window)
+            if refreshed is None:
+                return
+            window = refreshed
+            root_set = set(window.roots)
+            tables = _window_tables(aig, window)
+            if tables is None or len(window.leaves) > max_leaves:
+                return
+            k = len(window.leaves)
+            mask = table_mask(k)
+
+
+def _window_tables(aig: Aig, window: Window) -> Optional[Dict[int, int]]:
+    """Complete truth tables of all window signals over the leaves."""
+    k = len(window.leaves)
+    if k > 20:
+        return None
+    mask = table_mask(k)
+    tables: Dict[int, int] = {0: 0}
+    for i, leaf in enumerate(window.leaves):
+        tables[leaf] = variable_table(i, k)
+    for n in window.nodes:
+        f0, f1 = aig.fanins(n)
+        t0 = tables.get(lit_node(f0))
+        t1 = tables.get(lit_node(f1))
+        if t0 is None or t1 is None:
+            return None
+        if lit_is_compl(f0):
+            t0 ^= mask
+        if lit_is_compl(f1):
+            t1 ^= mask
+        tables[n] = t0 & t1
+    return tables
+
+
+def _node_mspf(aig: Aig, window: Window, tables: Dict[int, int],
+               node: int, mask: int) -> int:
+    """Leaf minterms where flipping *node* changes no window root.
+
+    The truth-table analogue of the paper's per-output MSPF product: the
+    window is re-simulated with the node's column inverted and the roots
+    compared (early exit when the MSPF hits 0).
+    """
+    flipped = dict(tables)
+    flipped[node] = tables[node] ^ mask
+    # Re-simulate only the node's transitive fanout inside the window.
+    order = window.nodes
+    position = {n: i for i, n in enumerate(order)}
+    start = position.get(node, 0)
+    for n in order[start:]:
+        if n == node:
+            continue
+        f0, f1 = aig.fanins(n)
+        t0 = flipped.get(lit_node(f0))
+        t1 = flipped.get(lit_node(f1))
+        if t0 is None or t1 is None:
+            return 0
+        if lit_is_compl(f0):
+            t0 ^= mask
+        if lit_is_compl(f1):
+            t1 ^= mask
+        flipped[n] = t0 & t1
+    mspf = mask
+    for root in window.roots:
+        if root not in tables or root not in flipped:
+            return 0
+        mspf &= ~(tables[root] ^ flipped[root]) & mask
+        if mspf == 0:
+            return 0
+    return mspf
+
+
+def _resub_under_mspf(aig: Aig, window: Window, tables: Dict[int, int],
+                      node: int, care: int, mask: int) -> int:
+    """Try constants and single connectable signals on the care set."""
+    target = tables[node] & care
+    if target == 0:
+        gain = try_replace(aig, node, lambda: 0, min_gain=1)
+        if gain:
+            return gain
+    if (tables[node] ^ mask) & care == 0:
+        gain = try_replace(aig, node, lambda: 1, min_gain=1)
+        if gain:
+            return gain
+    for d in window.leaves + window.nodes:
+        if d == node or aig.is_dead(d) or d not in tables:
+            continue
+        if tables[d] & care == target:
+            gain = try_replace(aig, node, lambda d=d: lit(d), min_gain=1)
+            if gain:
+                return gain
+        elif (tables[d] ^ mask) & care == target:
+            gain = try_replace(aig, node, lambda d=d: lit(d, True),
+                               min_gain=1)
+            if gain:
+                return gain
+    return 0

@@ -1,0 +1,91 @@
+"""Refactoring (the ``rf`` move): collapse-and-resynthesize large cones.
+
+Where rewriting works on 4-input cuts, refactoring collapses a node's cone
+over a wider reconvergent cut (10–12 leaves), recomputes the local function
+by complete simulation, and resynthesizes it from an irredundant SOP via
+algebraic factoring.  Gains come from reconvergence the small cuts cannot
+see.  This is the paper's "refactoring" move (low effort = smaller cuts,
+high effort = wider cuts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.aig.aig import Aig, lit_is_compl, lit_node
+from repro.opt.shared import try_replace
+from repro.partition.window import collect_window
+from repro.sop.factor import factor, factored_to_aig
+from repro.sop.sop import Sop
+from repro.tt.isop import isop
+from repro.tt.truthtable import TruthTable, table_mask, variable_table
+
+
+def refactor(aig: Aig, max_leaves: int = 10, min_gain: int = 1,
+             min_mffc: int = 2, node_filter: Optional[set] = None) -> int:
+    """One refactoring pass; returns the total gain."""
+    total_gain = 0
+    from repro.aig.traversal import node_level_map
+    levels = node_level_map(aig)
+    for node in list(aig.topological_order()):
+        if aig.is_dead(node) or not aig.is_and(node):
+            continue
+        if node_filter is not None and node not in node_filter:
+            continue
+        if aig.mffc_size(node) < min_mffc:
+            continue
+        window = collect_window(aig, node, max_leaves=max_leaves,
+                                max_divisors=0, levels=levels)
+        if window is None or len(window.leaves) > max_leaves:
+            continue
+        if len(window.leaves) < 2 or len(window.leaves) > 14:
+            continue
+        table = window_function(aig, node, window.leaves)
+        sop = Sop(isop(table, table))
+        form = factor(sop)
+        leaf_literals = [2 * leaf for leaf in window.leaves]
+
+        def build(f=form, ls=leaf_literals):
+            return factored_to_aig(f, aig, ls)
+
+        gain = try_replace(aig, node, build, min_gain=min_gain)
+        if gain is not None:
+            total_gain += gain
+            # Levels drift after edits, but only guide heuristics; a stale
+            # map keeps the pass linear.
+    return total_gain
+
+
+def window_function(aig: Aig, root: int, leaves: List[int]) -> TruthTable:
+    """Local function of *root* over *leaves* by complete simulation."""
+    k = len(leaves)
+    values: Dict[int, int] = {0: 0}
+    for i, leaf in enumerate(leaves):
+        values[leaf] = variable_table(i, k)
+    mask = table_mask(k)
+    # Evaluate the cone above the leaves.
+    order: List[int] = []
+    seen = set(leaves) | {0}
+    stack = [root]
+    visiting = set()
+    while stack:
+        n = stack[-1]
+        if n in seen:
+            stack.pop()
+            continue
+        if n in visiting:
+            seen.add(n)
+            order.append(n)
+            stack.pop()
+            continue
+        visiting.add(n)
+        for f in aig.fanins(n):
+            fn = lit_node(f)
+            if fn not in seen:
+                stack.append(fn)
+    for n in order:
+        f0, f1 = aig.fanins(n)
+        v0 = values[lit_node(f0)] ^ (mask if lit_is_compl(f0) else 0)
+        v1 = values[lit_node(f1)] ^ (mask if lit_is_compl(f1) else 0)
+        values[n] = v0 & v1
+    return TruthTable(values[root], k)

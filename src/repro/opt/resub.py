@@ -1,0 +1,170 @@
+"""Windowed resubstitution (the ``rs`` move).
+
+Classic truth-table resubstitution as in [1]: around each pivot node a small
+window is collected (:func:`repro.partition.window.collect_window`); the
+pivot and all divisor candidates are simulated completely over the window
+leaves; then the pivot is re-expressed as
+
+* a constant or a single existing divisor (0-resub, saves the whole MFFC),
+* an AND/OR of two divisors in any phase (1-resub, saves MFFC − 1),
+* an AND-OR combination of three divisors (2-resub, saves MFFC − 2),
+
+whenever truth tables prove functional equality.  The Boolean-difference and
+MSPF engines of :mod:`repro.sbm` generalize this with BDDs and global don't
+cares; this module is their algebraic baseline.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Optional, Tuple
+
+from repro.aig.aig import Aig, lit_is_compl, lit_node, lit_not
+from repro.aig.traversal import node_level_map
+from repro.opt.shared import try_replace
+from repro.partition.window import NodeWindow, collect_window
+from repro.tt.truthtable import table_mask, variable_table
+
+
+def resub(aig: Aig, max_leaves: int = 8, max_divisors: int = 60,
+          min_gain: int = 1, max_inserted: int = 2,
+          node_filter: Optional[set] = None) -> int:
+    """One resubstitution pass; returns the total gain.
+
+    ``max_inserted`` bounds the number of new nodes a replacement may use
+    (0 → only 0-resub, 1 → also AND/OR pairs, 2 → three-divisor shapes).
+    """
+    total_gain = 0
+    levels = node_level_map(aig)
+    for pivot in list(aig.topological_order()):
+        if aig.is_dead(pivot) or not aig.is_and(pivot):
+            continue
+        if node_filter is not None and pivot not in node_filter:
+            continue
+        mffc = aig.mffc_size(pivot)
+        if mffc < 1:
+            continue
+        window = collect_window(aig, pivot, max_leaves=max_leaves,
+                                max_divisors=max_divisors, levels=levels)
+        if window is None or len(window.leaves) > 14:
+            continue
+        gain = _resub_window(aig, window, mffc, min_gain, max_inserted)
+        if gain:
+            total_gain += gain
+    return total_gain
+
+
+def _resub_window(aig: Aig, window: NodeWindow, mffc: int,
+                  min_gain: int, max_inserted: int) -> int:
+    pivot = window.pivot
+    k = len(window.leaves)
+    mask = table_mask(k)
+    values = _simulate_window(aig, window)
+    target = values[pivot]
+    # Divisors must not include the pivot or dead nodes.
+    divisors: List[Tuple[int, int]] = []  # (node, table)
+    for d in window.divisors:
+        if d == pivot or aig.is_dead(d) or d not in values:
+            continue
+        divisors.append((d, values[d]))
+    for leaf in window.leaves:
+        divisors.append((leaf, values[leaf]))
+
+    def commit(build, needed_gain=min_gain):
+        return try_replace(aig, pivot, build, min_gain=needed_gain)
+
+    # --- 0-resub: constants and single divisors -----------------------------
+    if target == 0:
+        gain = commit(lambda: 0)
+        if gain is not None:
+            return gain
+    if target == mask:
+        gain = commit(lambda: 1)
+        if gain is not None:
+            return gain
+    for d, table in divisors:
+        if table == target:
+            gain = commit(lambda d=d: 2 * d)
+            if gain is not None:
+                return gain
+        elif table ^ mask == target:
+            gain = commit(lambda d=d: 2 * d + 1)
+            if gain is not None:
+                return gain
+    if max_inserted < 1 or mffc < 2:
+        return 0
+    # --- 1-resub: two-divisor AND/OR in all phases ----------------------------
+    for (da, ta), (db, tb) in combinations(divisors, 2):
+        for pa in (0, 1):
+            for pb in (0, 1):
+                va = ta ^ (mask if pa else 0)
+                vb = tb ^ (mask if pb else 0)
+                if (va & vb) == target:
+                    gain = commit(lambda da=da, pa=pa, db=db, pb=pb:
+                                  aig.add_and(2 * da + pa, 2 * db + pb))
+                    if gain is not None:
+                        return gain
+                if (va | vb) == target:
+                    gain = commit(lambda da=da, pa=pa, db=db, pb=pb:
+                                  aig.add_or(2 * da + pa, 2 * db + pb))
+                    if gain is not None:
+                        return gain
+    if max_inserted < 2 or mffc < 3:
+        return 0
+    # --- 2-resub: (a op b) op c shapes -----------------------------------------
+    limited = divisors[:16]
+    for (da, ta), (db, tb), (dc, tc) in combinations(limited, 3):
+        for pa in (0, 1):
+            va = ta ^ (mask if pa else 0)
+            for pb in (0, 1):
+                vb = tb ^ (mask if pb else 0)
+                for pc in (0, 1):
+                    vc = tc ^ (mask if pc else 0)
+                    if ((va & vb) & vc) == target:
+                        gain = commit(lambda da=da, pa=pa, db=db, pb=pb, dc=dc, pc=pc:
+                                      aig.add_and(aig.add_and(2 * da + pa, 2 * db + pb),
+                                                  2 * dc + pc))
+                        if gain is not None:
+                            return gain
+                    if ((va | vb) | vc) == target:
+                        gain = commit(lambda da=da, pa=pa, db=db, pb=pb, dc=dc, pc=pc:
+                                      aig.add_or(aig.add_or(2 * da + pa, 2 * db + pb),
+                                                 2 * dc + pc))
+                        if gain is not None:
+                            return gain
+                    if ((va & vb) | vc) == target:
+                        gain = commit(lambda da=da, pa=pa, db=db, pb=pb, dc=dc, pc=pc:
+                                      aig.add_or(aig.add_and(2 * da + pa, 2 * db + pb),
+                                                 2 * dc + pc))
+                        if gain is not None:
+                            return gain
+    return 0
+
+
+def _simulate_window(aig: Aig, window: NodeWindow) -> Dict[int, int]:
+    """Complete simulation of the window cone and divisors over the leaves."""
+    k = len(window.leaves)
+    mask = table_mask(k)
+    values: Dict[int, int] = {0: 0}
+    for i, leaf in enumerate(window.leaves):
+        values[leaf] = variable_table(i, k)
+    pending = [n for n in window.cone if n not in values]
+    pending += [d for d in window.divisors if d not in values]
+    # The window guarantees all fanins are inside; order topologically by a
+    # relaxation loop (windows are tiny).
+    remaining = [n for n in pending if aig.is_and(n)]
+    guard = 0
+    while remaining and guard < 1 + len(remaining) * len(remaining):
+        guard += 1
+        progressed = []
+        for n in remaining:
+            f0, f1 = aig.fanins(n)
+            if lit_node(f0) in values and lit_node(f1) in values:
+                v0 = values[lit_node(f0)] ^ (mask if lit_is_compl(f0) else 0)
+                v1 = values[lit_node(f1)] ^ (mask if lit_is_compl(f1) else 0)
+                values[n] = v0 & v1
+                progressed.append(n)
+        if not progressed:
+            break
+        remaining = [n for n in remaining if n not in values]
+    return values

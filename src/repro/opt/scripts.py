@@ -1,0 +1,51 @@
+"""Baseline optimization scripts.
+
+"AIG optimization traditionally consists of a predetermined sequence of
+primitive optimization techniques, forming a so-called script, which is
+homogeneously applied to the whole network.  One of the most popular AIG
+scripts in academia is resyn2rs from ABC" (Section IV-A).  These fixed
+scripts are the baseline the gradient engine is compared against in the
+Table II experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.aig.aig import Aig
+from repro.opt.balance import balance
+from repro.opt.refactor import refactor
+from repro.opt.resub import resub
+from repro.opt.rewrite import rewrite
+
+
+def compress2rs_step(aig: Aig) -> Aig:
+    """One ``compress2rs``-style iteration: b; rs; rw; rf; rs; rwz; rfz."""
+    aig = balance(aig)
+    resub(aig, max_inserted=1)
+    rewrite(aig)
+    refactor(aig)
+    resub(aig, max_inserted=2)
+    rewrite(aig, min_gain=0)
+    refactor(aig, min_gain=0)
+    return aig.cleanup()
+
+
+def resyn2rs(aig: Aig, max_iterations: int = 4) -> Aig:
+    """Iterate the baseline script until no size improvement (ABC's habit of
+    "running resyn2rs until no improvement is seen", Table II footnote)."""
+    best = aig.cleanup()
+    for _ in range(max_iterations):
+        candidate = compress2rs_step(best)
+        if candidate.num_ands >= best.num_ands:
+            return best
+        best = candidate
+    return best
+
+
+def quick_optimize(aig: Aig) -> Aig:
+    """A cheap one-shot cleanup: balance + one rewrite + one resub pass."""
+    aig = balance(aig)
+    rewrite(aig)
+    resub(aig, max_inserted=1)
+    return aig.cleanup()

@@ -1,0 +1,16 @@
+"""Partitioning engines: topological windows and pivot-centred windows."""
+
+from repro.partition.partitioner import (
+    PartitionConfig,
+    Window,
+    extract_window_aig,
+    partition_network,
+    splice_window,
+)
+from repro.partition.window import NodeWindow, collect_window
+
+__all__ = [
+    "PartitionConfig", "Window", "partition_network",
+    "extract_window_aig", "splice_window",
+    "NodeWindow", "collect_window",
+]

@@ -1,0 +1,13 @@
+"""SAT engine: CDCL solver, Tseitin encodings, sweeping, redundancy removal."""
+
+from repro.sat.cnf import AigCnf, build_miter, prove_equivalent
+from repro.sat.equivalence import assert_equivalent, check_equivalence
+from repro.sat.redundancy import remove_redundancies
+from repro.sat.solver import SatSolver
+from repro.sat.sweep import sat_sweep
+
+__all__ = [
+    "SatSolver", "AigCnf", "build_miter", "prove_equivalent",
+    "check_equivalence", "assert_equivalent", "sat_sweep",
+    "remove_redundancies",
+]

@@ -1,0 +1,67 @@
+"""Combinational equivalence checking (CEC).
+
+Every experiment in the reproduction verifies its optimized network against
+the original — the paper's "all benchmarks are verified with an industrial
+formal equivalence checking flow" (Section V-C).  Small networks are checked
+exhaustively by simulation; larger ones through a SAT miter.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.aig.aig import Aig
+from repro.aig.simulate import po_tables, po_words, simulate_words
+from repro.sat.cnf import AigCnf, build_miter
+from repro.sat.solver import SatSolver
+
+
+def check_equivalence(aig_a: Aig, aig_b: Aig,
+                      exhaustive_limit: int = 12) -> Tuple[bool, Optional[List[bool]]]:
+    """Decide whether two networks are combinationally equivalent.
+
+    Returns ``(True, None)`` or ``(False, counterexample_pi_assignment)``.
+    Networks with at most *exhaustive_limit* inputs are compared by complete
+    simulation; larger ones by random-simulation filtering followed by a SAT
+    miter proof.
+    """
+    if aig_a.num_pis != aig_b.num_pis or aig_a.num_pos != aig_b.num_pos:
+        raise ValueError("equivalence requires matching interfaces")
+    if aig_a.num_pis <= exhaustive_limit:
+        ta = po_tables(aig_a)
+        tb = po_tables(aig_b)
+        if ta == tb:
+            return True, None
+        for po, (x, y) in enumerate(zip(ta, tb)):
+            diff = x ^ y
+            if diff:
+                row = (diff & -diff).bit_length() - 1
+                return False, [bool((row >> i) & 1) for i in range(aig_a.num_pis)]
+        return True, None
+    # Random simulation first: a cheap refutation path.
+    import random
+    rng = random.Random(0xCEC)
+    for _ in range(4):
+        words = [rng.getrandbits(64) for _ in range(aig_a.num_pis)]
+        wa = po_words(aig_a, simulate_words(aig_a, words))
+        wb = po_words(aig_b, simulate_words(aig_b, words))
+        for x, y in zip(wa, wb):
+            diff = x ^ y
+            if diff:
+                bit = (diff & -diff).bit_length() - 1
+                return False, [bool((w >> bit) & 1) for w in words]
+    miter = build_miter(aig_a, aig_b)
+    cnf = AigCnf(miter)
+    out = cnf.sat_literal(miter.pos()[0])
+    if cnf.solver.solve((out,)):
+        return False, cnf.extract_pi_assignment()
+    return True, None
+
+
+def assert_equivalent(aig_a: Aig, aig_b: Aig) -> None:
+    """Raise ``AssertionError`` with a counterexample if networks differ."""
+    ok, cex = check_equivalence(aig_a, aig_b)
+    if not ok:
+        raise AssertionError(
+            f"networks {aig_a.name!r} and {aig_b.name!r} differ, e.g. under "
+            f"PI assignment {cex}")

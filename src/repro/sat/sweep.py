@@ -1,0 +1,78 @@
+"""SAT sweeping: merging functionally equivalent nodes.
+
+Part of the SBM flow's final stage, "SAT-based sweeping and redundancy
+removal as in [9]" (Section V-A).  Random simulation partitions nodes into
+candidate equivalence classes (equal fingerprints); a SAT solver then proves
+or refutes each candidate pair, and proven-equivalent nodes are merged with
+:meth:`Aig.replace`.  Counterexamples returned by the solver refine the
+remaining classes, so refuted candidates are never retried.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.aig.aig import Aig, lit, lit_not
+from repro.aig.simulate import simulate_words
+from repro.sat.cnf import AigCnf, prove_equivalent
+
+
+def sat_sweep(aig: Aig, num_sim_rounds: int = 8,
+              max_proofs: Optional[int] = None,
+              rng: Optional[random.Random] = None) -> int:
+    """Merge SAT-proven equivalent (or antivalent) nodes in place.
+
+    Returns the number of merges performed.  ``max_proofs`` caps SAT calls
+    for runtime control (the scalability lever of the paper's engines).
+    """
+    rng = rng or random.Random(20190311)
+    if aig.num_pis == 0:
+        return 0
+    # Fingerprint every node; bit-complement-normalized so that antivalent
+    # nodes land in the same class.
+    signatures: Dict[int, int] = {}
+    patterns: List[List[int]] = [
+        [rng.getrandbits(64) for _ in range(aig.num_pis)]
+        for _ in range(num_sim_rounds)
+    ]
+    values_per_round = [simulate_words(aig, words) for words in patterns]
+
+    def signature(node: int) -> int:
+        sig = 0
+        for values in values_per_round:
+            sig = (sig << 64) | values[node]
+        return sig
+
+    classes: Dict[int, List[int]] = {}
+    order = aig.topological_order()
+    for node in [0] + aig.pis() + order:
+        sig = signature(node)
+        norm = sig if not (sig & 1) else sig ^ ((1 << (64 * num_sim_rounds)) - 1)
+        classes.setdefault(norm, []).append(node)
+
+    cnf = AigCnf(aig)
+    merges = 0
+    proofs = 0
+    mask = (1 << (64 * num_sim_rounds)) - 1
+    for norm in list(classes):
+        members = classes[norm]
+        if len(members) < 2:
+            continue
+        representative = members[0]
+        rep_sig = signature(representative)
+        for node in members[1:]:
+            if aig.is_dead(node) or aig.is_dead(representative):
+                continue
+            if node == representative:
+                continue
+            if max_proofs is not None and proofs >= max_proofs:
+                return merges
+            complemented = signature(node) != rep_sig
+            target_lit = lit(representative, complemented)
+            proofs += 1
+            equivalent, _cex = prove_equivalent(cnf, lit(node), target_lit)
+            if equivalent and not aig.is_pi(node):
+                aig.replace(node, target_lit)
+                merges += 1
+    return merges

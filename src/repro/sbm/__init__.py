@@ -1,0 +1,43 @@
+"""The Scalable Boolean Method (SBM) framework — the paper's contribution.
+
+Four engines (Sections III and IV) plus the integrated Boolean resynthesis
+flow (Section V-A):
+
+* :func:`boolean_difference_pass` — resubstitution via ``f = ∂f/∂g ⊕ g``,
+* :func:`gradient_optimize` — adaptive move-based AIG minimization,
+* :func:`hetero_kernel_pass` — heterogeneous elimination for kerneling,
+* :func:`mspf_pass` — MSPF don't-care optimization with BDDs,
+* :func:`sbm_flow` — the full script combining them with the baseline.
+"""
+
+from repro.sbm.boolean_difference import (
+    BooleanDifferenceStats,
+    boolean_difference_pass,
+)
+from repro.sbm.config import (
+    BooleanDifferenceConfig,
+    FlowConfig,
+    GradientConfig,
+    KernelConfig,
+    MspfConfig,
+)
+from repro.sbm.flow import FlowStats, sbm_flow
+from repro.sbm.gradient import GradientStats, gradient_optimize
+from repro.sbm.hetero_kernel import (
+    KernelStats,
+    hetero_kernel_pass,
+    homogeneous_kernel_pass,
+)
+from repro.sbm.moves import DEFAULT_MOVES, Move
+from repro.sbm.mspf import MspfStats, mspf_pass
+
+__all__ = [
+    "boolean_difference_pass", "BooleanDifferenceStats",
+    "gradient_optimize", "GradientStats",
+    "hetero_kernel_pass", "homogeneous_kernel_pass", "KernelStats",
+    "mspf_pass", "MspfStats",
+    "sbm_flow", "FlowStats",
+    "BooleanDifferenceConfig", "MspfConfig", "KernelConfig",
+    "GradientConfig", "FlowConfig",
+    "Move", "DEFAULT_MOVES",
+]

@@ -1,0 +1,94 @@
+"""Configuration dataclasses for the SBM engines.
+
+Default values follow the paper's empirical settings:
+
+* Boolean difference: BDD size filter 10 (Section III-C), xor_cost 3 (the
+  AIG node count of a two-input XOR; "according to the specific technology
+  involved ... the xor_cost can have a different value"), partition levels
+  between 5 and 30 with ≤1000 nodes (Section III-B).
+* Gradient engine: cost budget 100, k = 20, minimum gain gradient 3%
+  (Section IV-A).
+* Heterogeneous eliminate thresholds (-1, 2, 5, 20, 50, 100, 200, 300)
+  (Section IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.partition.partitioner import PartitionConfig
+
+
+@dataclass
+class BooleanDifferenceConfig:
+    """Knobs of the Boolean-difference resubstitution engine (Section III)."""
+
+    xor_cost: int = 3
+    bdd_size_limit: int = 10
+    bdd_node_limit: int = 200_000
+    max_pairs_per_node: int = 40
+    max_pairs_per_partition: int = 5_000
+    min_shared_support: int = 1
+    max_inclusion: float = 0.999
+    accept_zero_gain: bool = True
+    #: Reorder partition BDDs by sifting before pairing.  The paper keeps
+    #: this OFF ("we did not perform any BDD variables ordering ... saves
+    #: runtime, but requires a higher amount of memory", Section III-C);
+    #: ON trades runtime for memory — measured by the ablation bench.
+    reorder: bool = False
+    partition: PartitionConfig = field(default_factory=lambda: PartitionConfig(
+        max_levels=20, max_size=400, max_leaves=24))
+
+
+@dataclass
+class MspfConfig:
+    """Knobs of the BDD-based MSPF engine (Section IV-C)."""
+
+    bdd_node_limit: int = 300_000
+    max_connectable_fanins: int = 8
+    partition: PartitionConfig = field(default_factory=lambda: PartitionConfig(
+        max_levels=24, max_size=500, max_leaves=28))
+
+
+@dataclass
+class KernelConfig:
+    """Knobs of the heterogeneous elimination/kerneling engine (Section IV-B)."""
+
+    eliminate_thresholds: Tuple[int, ...] = (-1, 2, 5, 20, 50, 100, 200, 300)
+    max_cubes: int = 256
+    kernel_rounds: int = 20
+    partition: PartitionConfig = field(default_factory=lambda: PartitionConfig(
+        max_levels=12, max_size=200, max_leaves=40))
+
+
+@dataclass
+class GradientConfig:
+    """Knobs of the gradient-based AIG engine (Section IV-A)."""
+
+    cost_budget: int = 100
+    window_k: int = 20
+    min_gain_gradient: float = 0.03
+    budget_extension: int = 50
+    partition: Optional[PartitionConfig] = None  # None = whole network
+
+
+@dataclass
+class FlowConfig:
+    """The full Boolean resynthesis script of Section V-A."""
+
+    iterations: int = 2
+    #: Optional level discipline (Section V-A: "we enforced a tight control
+    #: on the number of levels ... as this is known to correlate with delay
+    #: and congestion later on in the flow").  When set, a stage whose
+    #: result exceeds ``initial_depth × max_depth_growth`` even after
+    #: rebalancing is rolled back.
+    max_depth_growth: Optional[float] = None
+    boolean_difference: BooleanDifferenceConfig = field(
+        default_factory=BooleanDifferenceConfig)
+    mspf: MspfConfig = field(default_factory=MspfConfig)
+    kernel: KernelConfig = field(default_factory=KernelConfig)
+    gradient: GradientConfig = field(default_factory=GradientConfig)
+    enable_sat_sweep: bool = True
+    enable_redundancy_removal: bool = False  # expensive; on for final effort
+    verify_each_step: bool = False

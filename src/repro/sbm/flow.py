@@ -1,0 +1,145 @@
+"""The SBM Boolean resynthesis flow (Section V-A).
+
+"We created a Boolean resynthesis script which runs the following
+optimizations:
+
+* AIG optimization: ... state-of-the-art methods [1] and our gradient-based
+  AIG minimization,
+* heterogeneous elimination for kernel extraction, applied on partitioned
+  networks of medium-large sizes,
+* enhanced MSPF computation, using partitions of medium size and BDDs,
+* collapse and Boolean decomposition, applied on reconvergent MFFC of the
+  logic network,
+* Boolean difference-based optimization to unveil hard to find optimization
+  and escape local minima,
+* SAT-based sweeping and redundancy removal as in [9].
+
+The optimization flow is iterated twice, with different efforts.  Further,
+after each transformation, the logic network is translated into an AIG."
+
+Our networks are always AIGs, so the "translate to AIG" step becomes a
+:meth:`~repro.aig.Aig.cleanup` compaction after every stage; the "collapse
+and Boolean decomposition on reconvergent MFFCs" stage maps to the
+wide-cut refactoring pass.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.aig.aig import Aig
+from repro.opt.balance import balance
+from repro.opt.refactor import refactor
+from repro.opt.scripts import compress2rs_step
+from repro.sat.equivalence import assert_equivalent
+from repro.sat.redundancy import remove_redundancies
+from repro.sat.sweep import sat_sweep
+from repro.sbm.boolean_difference import boolean_difference_pass
+from repro.sbm.config import FlowConfig, GradientConfig
+from repro.sbm.gradient import gradient_optimize
+from repro.sbm.hetero_kernel import hetero_kernel_pass
+from repro.sbm.mspf import mspf_pass
+
+
+@dataclass
+class FlowStats:
+    """Sizes after every stage of the flow, for reporting and debugging."""
+
+    stages: List[Tuple[str, int]] = field(default_factory=list)
+    runtime_s: float = 0.0
+
+    def record(self, stage: str, size: int) -> None:
+        """Append a (stage name, network size) checkpoint."""
+        self.stages.append((stage, size))
+
+
+def sbm_flow(aig: Aig, config: Optional[FlowConfig] = None) -> Tuple[Aig, FlowStats]:
+    """Run the full SBM Boolean resynthesis script; returns a new network.
+
+    The input network is not modified.
+    """
+    config = config or FlowConfig()
+    stats = FlowStats()
+    start = time.time()
+    original = aig.cleanup() if config.verify_each_step else None
+    best = aig.cleanup()
+    stats.record("initial", best.num_ands)
+    depth_limit = None
+    if config.max_depth_growth is not None:
+        depth_limit = max(1, int(best.depth * config.max_depth_growth))
+    current = best
+    for iteration in range(config.iterations):
+        effort_scale = iteration + 1
+        current = _one_iteration(current, config, stats, effort_scale,
+                                 depth_limit)
+        if config.verify_each_step:
+            assert_equivalent(original, current)
+        if current.num_ands < best.num_ands:
+            best = current.cleanup()
+    stats.runtime_s = time.time() - start
+    stats.record("final", best.num_ands)
+    return best, stats
+
+
+def _one_iteration(aig: Aig, config: FlowConfig, stats: FlowStats,
+                   effort: int, depth_limit: Optional[int] = None) -> Aig:
+
+    def guard(candidate: Aig, previous: Aig, stage: str) -> Aig:
+        """Level discipline: rebalance, roll back if still over budget."""
+        if depth_limit is None:
+            return candidate
+        if candidate.depth > depth_limit:
+            candidate = balance(candidate)
+        if candidate.depth > depth_limit and previous.depth <= depth_limit:
+            stats.record(f"{stage}:rolled_back[{effort}]", previous.num_ands)
+            return previous
+        return candidate
+
+    # 1. AIG optimization: baseline script + gradient engine.
+    before = aig
+    aig = guard(compress2rs_step(aig), before, "aig_script")
+    stats.record(f"aig_script[{effort}]", aig.num_ands)
+    gradient_cfg = GradientConfig(
+        cost_budget=config.gradient.cost_budget * effort,
+        window_k=config.gradient.window_k,
+        min_gain_gradient=config.gradient.min_gain_gradient,
+        budget_extension=config.gradient.budget_extension,
+        partition=config.gradient.partition)
+    before = aig.cleanup()
+    gradient_optimize(aig, gradient_cfg)
+    aig = guard(aig.cleanup(), before, "gradient")
+    stats.record(f"gradient[{effort}]", aig.num_ands)
+    # 2. Heterogeneous elimination for kernel extraction.
+    before = aig.cleanup()
+    hetero_kernel_pass(aig, config.kernel)
+    aig = guard(aig.cleanup(), before, "kernel")
+    stats.record(f"kernel[{effort}]", aig.num_ands)
+    # 3. Enhanced MSPF with BDDs.
+    before = aig.cleanup()
+    mspf_pass(aig, config.mspf)
+    aig = guard(aig.cleanup(), before, "mspf")
+    stats.record(f"mspf[{effort}]", aig.num_ands)
+    # 4. Collapse + Boolean decomposition on reconvergent MFFCs.
+    before = aig.cleanup()
+    refactor(aig, max_leaves=10 + 2 * effort, min_gain=1)
+    aig = guard(aig.cleanup(), before, "collapse_decomp")
+    stats.record(f"collapse_decomp[{effort}]", aig.num_ands)
+    # 5. Boolean difference to escape local minima.
+    before = aig.cleanup()
+    boolean_difference_pass(aig, config.boolean_difference)
+    aig = guard(aig.cleanup(), before, "boolean_diff")
+    stats.record(f"boolean_diff[{effort}]", aig.num_ands)
+    # 6. SAT sweeping and redundancy removal.
+    if config.enable_sat_sweep:
+        sat_sweep(aig, max_proofs=2000)
+        aig = aig.cleanup()
+        stats.record(f"sat_sweep[{effort}]", aig.num_ands)
+    if config.enable_redundancy_removal:
+        remove_redundancies(aig, max_checks=200)
+        aig = aig.cleanup()
+        stats.record(f"redundancy[{effort}]", aig.num_ands)
+    aig = balance(aig)
+    stats.record(f"balance[{effort}]", aig.num_ands)
+    return aig

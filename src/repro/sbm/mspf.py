@@ -1,0 +1,242 @@
+"""Maximum Set of Permissible Functions (MSPF) computation with BDDs.
+
+Section IV-C revisits MSPF — the strongest classical don't-care
+interpretation (Muroga's transduction method) — with BDDs on medium-size
+partitions:
+
+* nodes are processed in topological order, "further sorted w.r.t. an
+  estimated saving metric" (we use MFFC size),
+* per node the positive/negative cofactors of every partition output with
+  respect to the node are computed by substituting a fresh BDD variable at
+  the node and cofactoring,
+* ``mspf(node) = ∧_i ((¬f0(po_i) ⊕ f1(po_i)) ∨ dc(po_i))``, with the loop
+  stopping early "if at any point ... mspf(node) = bdd(0)",
+* the permissible set then drives resubstitution: a replacement ``new`` is
+  *connectable* when ``bdd(new) ∧ ¬mspf = bdd(old) ∧ ¬mspf`` — and thanks to
+  BDD canonicity we search for *many* connectable fanins at once and try an
+  irredundant subset, the key enhancement over the truth-table MSPF of [1],
+* BDD memory-limit bailouts set the node's BDD size to 0 and move on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.aig.aig import Aig, lit, lit_node
+from repro.bdd.manager import FALSE, TRUE, BddManager
+from repro.bdd.to_aig import aig_window_to_bdds
+from repro.errors import BddLimitError
+from repro.opt.shared import try_replace
+from repro.partition.partitioner import Window, partition_network
+from repro.sbm.config import MspfConfig
+
+
+@dataclass
+class MspfStats:
+    """Counters reported by an MSPF optimization pass."""
+
+    partitions: int = 0
+    nodes_processed: int = 0
+    mspf_nonzero: int = 0
+    bdd_bailouts: int = 0
+    connectable_found: int = 0
+    rewrites: int = 0
+    gain: int = 0
+
+
+def mspf_pass(aig: Aig, config: Optional[MspfConfig] = None) -> MspfStats:
+    """Run BDD-based MSPF optimization over every partition; edits in place."""
+    config = config or MspfConfig()
+    stats = MspfStats()
+    for window in partition_network(aig, config.partition):
+        stats.partitions += 1
+        optimize_partition(aig, window, config, stats)
+    return stats
+
+
+def optimize_partition(aig: Aig, window: Window, config: MspfConfig,
+                       stats: MspfStats) -> None:
+    """MSPF-based resubstitution inside one partition."""
+    # Earlier edits elsewhere can change the window's boundary (fanins
+    # rewired outside it) and which nodes are externally referenced; MSPF
+    # validity requires the *current* observability boundary, so recompute
+    # the whole window against the network's present state.
+    from repro.partition.partitioner import refresh_window
+    refreshed = refresh_window(aig, window)
+    if refreshed is None or not refreshed.leaves:
+        return
+    window = refreshed
+    leaves = window.leaves
+    root_set = set(window.roots)
+    nodes = [n for n in window.nodes if n not in root_set]
+    if not nodes:
+        return
+    # Estimated-saving ordering: big MFFCs first within the topological list.
+    nodes.sort(key=lambda n: -aig.mffc_size(n))
+    alive = list(window.nodes)
+    rebuilt = _window_bdds(aig, window, alive, config)
+    if rebuilt is None:
+        return
+    manager, all_bdds, z_var = rebuilt
+    for n in nodes:
+        if aig.is_dead(n) or not aig.is_and(n) or n not in all_bdds:
+            continue
+        if n in root_set:
+            # Cascade merges during earlier rewrites can promote a member
+            # to the observability boundary; never optimize a current root.
+            continue
+        stats.nodes_processed += 1
+        mspf = _compute_mspf(aig, window, manager, all_bdds, z_var, n,
+                             config, stats)
+        if mspf is None or mspf == FALSE:
+            continue
+        stats.mspf_nonzero += 1
+        try:
+            gain = _resub_under_mspf(aig, window, manager, all_bdds, n, mspf,
+                                     config, stats)
+        except BddLimitError:
+            # Memory-limit bailout (Section IV-C): "the algorithm sets the
+            # BDD size of the node to 0 ... the computation can then
+            # continue by considering the other nodes."
+            stats.bdd_bailouts += 1
+            continue
+        if gain:
+            stats.rewrites += 1
+            stats.gain += gain
+            # Internal functions changed (within their permissible sets) and
+            # cascade merges may have moved the observability boundary:
+            # refresh the whole window and its BDDs before judging further
+            # nodes.
+            refreshed = refresh_window(aig, window)
+            if refreshed is None:
+                return
+            window = refreshed
+            root_set = set(window.roots)
+            alive = list(window.nodes)
+            rebuilt = _window_bdds(aig, window, alive, config)
+            if rebuilt is None:
+                return
+            manager, all_bdds, z_var = rebuilt
+
+
+def _window_bdds(aig: Aig, window: Window, alive: List[int],
+                 config: MspfConfig):
+    """(manager, node→bdd, z variable) for the window, or None on bailout."""
+    try:
+        manager = BddManager(len(window.leaves) + 1,
+                             node_limit=config.bdd_node_limit)
+        z_var = len(window.leaves)
+        leaf_bdds = {leaf: manager.var(i)
+                     for i, leaf in enumerate(window.leaves)}
+        all_bdds = aig_window_to_bdds(aig, [n for n in alive if aig.is_and(n)],
+                                      leaf_bdds, manager)
+    except BddLimitError:
+        return None
+    return manager, all_bdds, z_var
+
+
+def _compute_mspf(aig: Aig, window: Window, manager: BddManager,
+                  all_bdds: Dict[int, int], z_var: int, node: int,
+                  config: MspfConfig, stats: MspfStats,
+                  output_dcs: Optional[Dict[int, int]] = None) -> Optional[int]:
+    """The paper's MSPF loop for one node; None on memory bailout.
+
+    ``output_dcs`` optionally maps root node → pre-existing don't-care BDD
+    (the ``dc(po_i)`` term).
+    """
+    try:
+        with_z = _bdds_with_free_node(aig, window, manager, all_bdds,
+                                      z_var, node)
+        if with_z is None:
+            return None
+        mspf = TRUE
+        for root in window.roots:
+            fz = with_z.get(root)
+            if fz is None:
+                return None
+            f0 = manager.cofactor(fz, z_var, False)
+            f1 = manager.cofactor(fz, z_var, True)
+            insensitive = manager.apply_xnor(f0, f1)
+            if output_dcs and root in output_dcs:
+                insensitive = manager.apply_or(insensitive, output_dcs[root])
+            mspf = manager.apply_and(mspf, insensitive)
+            if mspf == FALSE:
+                return FALSE  # early stop (Section IV-C)
+        return mspf
+    except BddLimitError:
+        stats.bdd_bailouts += 1
+        return None
+
+
+def _bdds_with_free_node(aig: Aig, window: Window, manager: BddManager,
+                         all_bdds: Dict[int, int], z_var: int,
+                         node: int) -> Optional[Dict[int, int]]:
+    """Window BDDs recomputed with *node* treated as free variable ``z``."""
+    from repro.aig.aig import lit_is_compl
+    values: Dict[int, int] = {}
+    for leaf in window.leaves:
+        values[leaf] = all_bdds[leaf] if leaf in all_bdds else None
+        if values[leaf] is None:
+            return None
+    values[0] = FALSE
+    values[node] = manager.var(z_var)
+    for n in window.nodes:
+        if n == node or aig.is_dead(n) or not aig.is_and(n):
+            continue
+        if n in values:
+            continue
+        f0, f1 = aig.fanins(n)
+        b0 = values.get(lit_node(f0), all_bdds.get(lit_node(f0)))
+        b1 = values.get(lit_node(f1), all_bdds.get(lit_node(f1)))
+        if b0 is None or b1 is None:
+            return None
+        # Fanins untouched by z keep their cached BDD; reuse saves work.
+        if lit_node(f0) not in values:
+            values[lit_node(f0)] = b0
+        if lit_node(f1) not in values:
+            values[lit_node(f1)] = b1
+        if lit_is_compl(f0):
+            b0 = manager.negate(b0)
+        if lit_is_compl(f1):
+            b1 = manager.negate(b1)
+        values[n] = manager.apply_and(b0, b1)
+    return values
+
+
+def _resub_under_mspf(aig: Aig, window: Window, manager: BddManager,
+                      all_bdds: Dict[int, int], node: int, mspf: int,
+                      config: MspfConfig, stats: MspfStats) -> int:
+    """Try constants and connectable existing nodes under the MSPF."""
+    care = manager.negate(mspf)
+    bdd_node = all_bdds[node]
+    on_care = manager.apply_and(bdd_node, care)
+    # Constants first: biggest wins.
+    if on_care == FALSE:
+        gain = try_replace(aig, node, lambda: 0, min_gain=1)
+        if gain:
+            return gain
+    if manager.apply_and(manager.negate(bdd_node), care) == FALSE:
+        gain = try_replace(aig, node, lambda: 1, min_gain=1)
+        if gain:
+            return gain
+    # Many connectable candidates at once (BDD canonicity makes each check a
+    # single AND + pointer compare); keep an irredundant subset ordered by
+    # the reclaimable MFFC.
+    candidates: List[Tuple[int, int]] = []  # (candidate literal, priority)
+    for d in window.leaves + window.nodes:
+        if d == node or aig.is_dead(d) or d not in all_bdds:
+            continue
+        bdd_d = all_bdds[d]
+        if manager.apply_and(bdd_d, care) == on_care:
+            candidates.append((lit(d), 0))
+        elif manager.apply_and(manager.negate(bdd_d), care) == on_care:
+            candidates.append((lit(d, True), 0))
+        if len(candidates) >= config.max_connectable_fanins:
+            break
+    stats.connectable_found += len(candidates)
+    for candidate, _priority in candidates:
+        gain = try_replace(aig, node, lambda c=candidate: c, min_gain=1)
+        if gain:
+            return gain
+    return 0

@@ -1,0 +1,33 @@
+"""SOP algebra: cubes, covers, division, kernels, factoring, networks."""
+
+from repro.sop.cube import (
+    Cube,
+    TAUTOLOGY_CUBE,
+    cube_and,
+    cube_common,
+    cube_contains,
+    cube_divide,
+    cube_num_literals,
+    cube_rename,
+    cube_support,
+)
+from repro.sop.division import divide, divide_by_cube, is_algebraic_divisor
+from repro.sop.factor import (
+    factor,
+    factored_literal_count,
+    factored_pretty,
+    factored_to_aig,
+    sop_to_aig,
+)
+from repro.sop.kernels import best_kernel, is_cube_free, kernel_value, kernels, make_cube_free
+from repro.sop.network import SopNetwork
+from repro.sop.sop import Sop
+
+__all__ = [
+    "Cube", "TAUTOLOGY_CUBE", "cube_and", "cube_contains", "cube_divide",
+    "cube_num_literals", "cube_common", "cube_support", "cube_rename",
+    "Sop", "divide", "divide_by_cube", "is_algebraic_divisor",
+    "kernels", "best_kernel", "kernel_value", "make_cube_free", "is_cube_free",
+    "factor", "factored_literal_count", "factored_to_aig", "sop_to_aig",
+    "factored_pretty", "SopNetwork",
+]

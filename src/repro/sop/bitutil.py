@@ -1,0 +1,18 @@
+"""Bit iteration helpers shared by the SOP algebra."""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the indices of the set bits of *mask*, ascending."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def bits_list(mask: int) -> List[int]:
+    """List of set-bit indices of *mask*, ascending."""
+    return list(iter_bits(mask))

@@ -1,0 +1,82 @@
+"""Cubes: conjunctions of literals over a node's fanin variables.
+
+A cube is a pair of bitmasks ``(pos, neg)``: bit *v* of ``pos`` set means
+variable *v* appears positively, of ``neg`` negatively.  A cube with both
+bits set for some variable is the empty (contradictory) cube.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+Cube = Tuple[int, int]
+
+TAUTOLOGY_CUBE: Cube = (0, 0)
+
+
+def cube_num_literals(cube: Cube) -> int:
+    """Number of literals in the cube."""
+    pos, neg = cube
+    return bin(pos).count("1") + bin(neg).count("1")
+
+
+def cube_is_tautology(cube: Cube) -> bool:
+    """True for the empty-literal (constant-1) cube."""
+    return cube == (0, 0)
+
+
+def cube_is_contradiction(cube: Cube) -> bool:
+    """True when some variable appears in both phases."""
+    return bool(cube[0] & cube[1])
+
+
+def cube_and(a: Cube, b: Cube) -> Optional[Cube]:
+    """Conjunction of two cubes; None when contradictory."""
+    pos = a[0] | b[0]
+    neg = a[1] | b[1]
+    if pos & neg:
+        return None
+    return (pos, neg)
+
+
+def cube_contains(a: Cube, b: Cube) -> bool:
+    """True when cube *a* contains cube *b* (a's literals ⊆ b's literals)."""
+    return (a[0] & ~b[0]) == 0 and (a[1] & ~b[1]) == 0
+
+
+def cube_divide(cube: Cube, divisor: Cube) -> Optional[Cube]:
+    """Cofactor *cube* by *divisor* (algebraic cube division).
+
+    Returns ``cube / divisor`` (the remaining literals) when the divisor's
+    literals all appear in *cube*; None otherwise.
+    """
+    if not cube_contains(divisor, cube):
+        return None
+    return (cube[0] & ~divisor[0], cube[1] & ~divisor[1])
+
+
+def cube_support(cube: Cube) -> int:
+    """Bitmask of variables used by the cube."""
+    return cube[0] | cube[1]
+
+
+def cube_common(cubes: Iterable[Cube]) -> Cube:
+    """Largest common cube (intersection of literal sets)."""
+    pos = neg = ~0
+    for p, n in cubes:
+        pos &= p
+        neg &= n
+    if pos == ~0:
+        return TAUTOLOGY_CUBE
+    return (pos, neg)
+
+
+def cube_rename(cube: Cube, mapping: dict) -> Cube:
+    """Re-index cube variables through ``mapping[old_var] = new_var``."""
+    from repro.sop.bitutil import iter_bits
+    pos = neg = 0
+    for v in iter_bits(cube[0]):
+        pos |= 1 << mapping[v]
+    for v in iter_bits(cube[1]):
+        neg |= 1 << mapping[v]
+    return (pos, neg)

@@ -1,0 +1,62 @@
+"""Algebraic (weak) division of SOP covers.
+
+Division is the workhorse behind kernel extraction and the Boolean-division
+generalization the paper alludes to in Section IV-B ("it applies, more
+generally, to Boolean division as well").  Given covers ``F`` and ``D``,
+weak division finds ``Q`` and ``R`` with ``F = Q·D + R`` where ``Q·D`` uses
+no distributive tricks (purely algebraic product).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.sop.cube import Cube, cube_and, cube_divide
+from repro.sop.sop import Sop
+
+
+def divide(f: Sop, d: Sop) -> Tuple[Sop, Sop]:
+    """Weak-divide cover *f* by cover *d*; returns ``(quotient, remainder)``.
+
+    The quotient is the largest cover ``Q`` such that ``Q·D ⊆ F`` cube-wise;
+    remainder collects the cubes of ``F`` not produced by ``Q·D``.  When the
+    divisor is empty, returns ``(0, F)``.
+    """
+    if d.is_const0():
+        return Sop(), f.copy()
+    quotient: Optional[set] = None
+    for d_cube in d.cubes:
+        partial = set()
+        for f_cube in f.cubes:
+            q = cube_divide(f_cube, d_cube)
+            if q is not None:
+                partial.add(q)
+        if quotient is None:
+            quotient = partial
+        else:
+            quotient &= partial
+        if not quotient:
+            return Sop(), f.copy()
+    q_sop = Sop(sorted(quotient))
+    product = q_sop & d
+    remainder = Sop(c for c in f.cubes if c not in set(product.cubes))
+    return q_sop, remainder
+
+
+def divide_by_cube(f: Sop, cube: Cube) -> Tuple[Sop, Sop]:
+    """Divide by a single cube (cheap special case)."""
+    quotient = Sop()
+    remainder = Sop()
+    for c in f.cubes:
+        q = cube_divide(c, cube)
+        if q is not None:
+            quotient.add_cube(q)
+        else:
+            remainder.add_cube(c)
+    return quotient, remainder
+
+
+def is_algebraic_divisor(f: Sop, d: Sop) -> bool:
+    """True when the quotient of ``f / d`` is non-empty."""
+    quotient, _remainder = divide(f, d)
+    return not quotient.is_const0()

@@ -1,0 +1,167 @@
+"""Algebraic factoring: SOP covers → factored forms → AIG logic.
+
+Factored forms are the bridge between the SOP world (elimination, kerneling)
+and the AIG world the SBM flow standardizes on: after the kernel engine has
+restructured a partition's SOPs, each node is factored and strashed back into
+the network.  The refactor move of the gradient engine also uses this path
+(collapse MFFC → ISOP → factor → rebuild).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.aig.aig import Aig
+from repro.sop.cube import Cube, cube_num_literals
+from repro.sop.division import divide, divide_by_cube
+from repro.sop.kernels import make_cube_free
+from repro.sop.sop import Sop
+
+# A factored form is a tree of tuples:
+#   ("lit", var, positive)
+#   ("and", [children])
+#   ("or",  [children])
+#   ("const", bool)
+FactoredForm = Tuple
+
+
+def factor(sop: Sop) -> FactoredForm:
+    """Algebraic "quick factor" of a cover.
+
+    Recursively divides by the most frequent literal after pulling out the
+    largest common cube; linear-ish and good enough to track literal counts
+    the way MIS/SIS quick_factor does.
+    """
+    if sop.is_const0():
+        return ("const", False)
+    if sop.is_const1():
+        return ("const", True)
+    if sop.num_cubes() == 1:
+        return _cube_form(sop.cubes[0])
+    free, common = make_cube_free(sop)
+    if common != (0, 0):
+        sub = factor(free)
+        return _make_and([_cube_form(common), sub])
+    occ = sop.literal_occurrences()
+    best = max(occ.items(), key=lambda item: (item[1], -item[0][0]))
+    (var, positive), count = best
+    if count < 2:
+        # No sharing available: a flat OR of cube ANDs.
+        return _make_or([_cube_form(c) for c in sop.cubes])
+    literal_cube: Cube = ((1 << var, 0) if positive else (0, 1 << var))
+    quotient, remainder = divide_by_cube(sop, literal_cube)
+    # Good-factor refinement: re-divide by the *quotient* itself, which
+    # turns a·(c+d) + b·(c+d) into (a+b)·(c+d) instead of distributing.
+    if quotient.num_cubes() >= 2:
+        q_free, _common = make_cube_free(quotient)
+        if q_free.num_cubes() >= 2:
+            outer, rest = divide(sop, q_free)
+            if outer.num_cubes() >= 2:
+                return _make_or([_make_and([factor(outer), factor(q_free)]),
+                                 factor(rest)])
+    q_form = factor(quotient)
+    lit_form = ("lit", var, positive)
+    product = _make_and([lit_form, q_form])
+    if remainder.is_const0():
+        return product
+    return _make_or([product, factor(remainder)])
+
+
+def _cube_form(cube: Cube) -> FactoredForm:
+    from repro.sop.bitutil import iter_bits
+    pos, neg = cube
+    literals: List[FactoredForm] = []
+    for v in iter_bits(pos):
+        literals.append(("lit", v, True))
+    for v in iter_bits(neg):
+        literals.append(("lit", v, False))
+    if not literals:
+        return ("const", True)
+    return _make_and(literals)
+
+
+def _make_and(children: List[FactoredForm]) -> FactoredForm:
+    flat: List[FactoredForm] = []
+    for child in children:
+        if child[0] == "and":
+            flat.extend(child[1])
+        elif child == ("const", True):
+            continue
+        elif child == ("const", False):
+            return ("const", False)
+        else:
+            flat.append(child)
+    if not flat:
+        return ("const", True)
+    if len(flat) == 1:
+        return flat[0]
+    return ("and", flat)
+
+
+def _make_or(children: List[FactoredForm]) -> FactoredForm:
+    flat: List[FactoredForm] = []
+    for child in children:
+        if child[0] == "or":
+            flat.extend(child[1])
+        elif child == ("const", False):
+            continue
+        elif child == ("const", True):
+            return ("const", True)
+        else:
+            flat.append(child)
+    if not flat:
+        return ("const", False)
+    if len(flat) == 1:
+        return flat[0]
+    return ("or", flat)
+
+
+def factored_literal_count(form: FactoredForm) -> int:
+    """Number of literal leaves — the standard factored-form cost."""
+    kind = form[0]
+    if kind == "lit":
+        return 1
+    if kind == "const":
+        return 0
+    return sum(factored_literal_count(child) for child in form[1])
+
+
+def factored_to_aig(form: FactoredForm, aig: Aig,
+                    fanin_literals: Sequence[int]) -> int:
+    """Build the factored form into *aig*; returns the output literal.
+
+    ``fanin_literals[v]`` supplies the AIG literal for SOP variable *v*.
+    Balanced AND/OR trees keep depth logarithmic.
+    """
+    kind = form[0]
+    if kind == "const":
+        return 1 if form[1] else 0
+    if kind == "lit":
+        literal = fanin_literals[form[1]]
+        return literal if form[2] else literal ^ 1
+    children = [factored_to_aig(child, aig, fanin_literals) for child in form[1]]
+    if kind == "and":
+        return aig.add_and_multi(children)
+    return aig.add_or_multi(children)
+
+
+def sop_to_aig(sop: Sop, aig: Aig, fanin_literals: Sequence[int]) -> int:
+    """Factor a cover and strash it into *aig*; returns the output literal."""
+    return factored_to_aig(factor(sop), aig, fanin_literals)
+
+
+def factored_pretty(form: FactoredForm, names: Optional[Sequence[str]] = None) -> str:
+    """Render a factored form, e.g. ``a (b + !c) + d``."""
+    kind = form[0]
+    if kind == "const":
+        return "1" if form[1] else "0"
+    if kind == "lit":
+        label = names[form[1]] if names else f"x{form[1]}"
+        return label if form[2] else f"!{label}"
+    if kind == "and":
+        parts = []
+        for child in form[1]:
+            text = factored_pretty(child, names)
+            parts.append(f"({text})" if child[0] == "or" else text)
+        return " ".join(parts)
+    return " + ".join(factored_pretty(child, names) for child in form[1])

@@ -1,0 +1,132 @@
+"""Kernel and co-kernel computation, and multi-node kernel extraction.
+
+"Kernel extraction [10] is one of the most effective techniques in logic
+optimization ... it allows us to share large portions of logic circuits"
+(Section IV-B).  A *kernel* of a cover F is a cube-free quotient of F by a
+cube (its *co-kernel*); common kernels across nodes expose shared divisors.
+
+The classic recursive enumeration (Brayton/Rudell) is implemented, plus a
+greedy extraction loop that repeatedly factors out the kernel with the best
+literal saving — the primitive that the heterogeneous-threshold engine of
+:mod:`repro.sbm.hetero_kernel` drives per partition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.sop.cube import Cube, TAUTOLOGY_CUBE, cube_common, cube_num_literals
+from repro.sop.division import divide, divide_by_cube
+from repro.sop.sop import Sop
+
+
+def make_cube_free(sop: Sop) -> Tuple[Sop, Cube]:
+    """Divide out the largest common cube; returns (cube-free cover, cube)."""
+    if sop.num_cubes() == 0:
+        return sop.copy(), TAUTOLOGY_CUBE
+    common = cube_common(sop.cubes)
+    if common == TAUTOLOGY_CUBE:
+        return sop.copy(), TAUTOLOGY_CUBE
+    quotient, _r = divide_by_cube(sop, common)
+    return quotient, common
+
+
+def is_cube_free(sop: Sop) -> bool:
+    """True when no single literal divides every cube."""
+    return cube_common(sop.cubes) == TAUTOLOGY_CUBE if sop.cubes else True
+
+
+def kernels(sop: Sop, max_kernels: int = 200) -> List[Tuple[Sop, Cube]]:
+    """All (kernel, co-kernel) pairs of a cover, capped at *max_kernels*.
+
+    The cover itself is included (with tautology co-kernel) when cube-free —
+    the *level-0* kernels used by factoring are the leaves of this recursion.
+    """
+    out: List[Tuple[Sop, Cube]] = []
+    seen: set = set()
+
+    def record(kernel: Sop, cokernel: Cube) -> None:
+        key = tuple(sorted(kernel.cubes))
+        if key not in seen:
+            seen.add(key)
+            out.append((kernel, cokernel))
+
+    def rec(cover: Sop, cokernel: Cube, min_var: int) -> None:
+        if len(out) >= max_kernels:
+            return
+        occ = cover.literal_occurrences()
+        record(cover, cokernel)
+        for (var, positive), count in sorted(occ.items()):
+            if count < 2 or var < min_var:
+                continue
+            literal_cube: Cube = ((1 << var, 0) if positive else (0, 1 << var))
+            quotient, _r = divide_by_cube(cover, literal_cube)
+            if quotient.num_cubes() < 2:
+                continue
+            free, common = make_cube_free(quotient)
+            merged = _merge_cubes(cokernel, literal_cube, common)
+            rec(free, merged, var)
+
+    free, common = make_cube_free(sop)
+    if free.num_cubes() >= 2:
+        rec(free, common, 0)
+    return out
+
+
+def _merge_cubes(*cubes: Cube) -> Cube:
+    pos = neg = 0
+    for p, n in cubes:
+        pos |= p
+        neg |= n
+    return (pos, neg)
+
+
+def kernel_value(nodes: Iterable[Sop], kernel: Sop) -> int:
+    """Literal saving from extracting *kernel* as a new shared node.
+
+    For each node whose quotient by the kernel is non-trivial, the node is
+    rewritten as ``Q·k + R``; the saving is the difference in total literals
+    (kernel literals are paid once).
+    """
+    kernel_literals = kernel.num_literals()
+    total_saving = 0
+    uses = 0
+    for node in nodes:
+        quotient, remainder = divide(node, kernel)
+        if quotient.is_const0():
+            continue
+        new_cost = quotient.num_literals() + quotient.num_cubes() + remainder.num_literals()
+        old_cost = node.num_literals()
+        if new_cost < old_cost:
+            total_saving += old_cost - new_cost
+            uses += 1
+    if uses == 0:
+        return -kernel_literals
+    return total_saving - kernel_literals
+
+
+def best_kernel(nodes: List[Sop], max_kernels_per_node: int = 50) -> Optional[Tuple[Sop, int]]:
+    """The kernel (from any node) with the best extraction value, or None.
+
+    Single-literal "kernels" are excluded (they carry no sharing).  Returns
+    ``(kernel, value)`` with value > 0, or None when nothing profitable
+    exists.
+    """
+    best: Optional[Sop] = None
+    best_value = 0
+    seen: set = set()
+    for node in nodes:
+        for kernel, _cokernel in kernels(node, max_kernels_per_node):
+            if kernel.num_cubes() < 2:
+                continue
+            key = tuple(sorted(kernel.cubes))
+            if key in seen:
+                continue
+            seen.add(key)
+            value = kernel_value(nodes, kernel)
+            if value > best_value:
+                best_value = value
+                best = kernel
+    if best is None:
+        return None
+    return best, best_value

@@ -1,0 +1,27 @@
+"""Truth-table reasoning engine (Section II-A of the paper)."""
+
+from repro.tt.isop import (
+    Cube,
+    cover_table,
+    cube_literal_count,
+    cube_table,
+    isop,
+    isop_table,
+)
+from repro.tt.npn import (
+    NpnTransform,
+    apply_transform,
+    invert_transform,
+    npn_canonical,
+    npn_classes_upto,
+    npn_semicanonical,
+)
+from repro.tt.truthtable import TruthTable, table_mask, variable_table
+
+__all__ = [
+    "TruthTable", "table_mask", "variable_table",
+    "Cube", "isop", "isop_table", "cube_table", "cover_table",
+    "cube_literal_count",
+    "NpnTransform", "npn_canonical", "npn_semicanonical",
+    "apply_transform", "invert_transform", "npn_classes_upto",
+]

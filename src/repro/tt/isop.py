@@ -1,0 +1,106 @@
+"""Irredundant sum-of-products via the Minato–Morreale algorithm.
+
+Computes an irredundant cover of any function between a lower bound ``L``
+(onset) and an upper bound ``U`` (onset plus don't cares).  Don't cares are
+central to Boolean methods (Section II), and the interval form lets the same
+routine serve plain covering (``L = U``) and don't-care-aware resynthesis
+(``L = onset``, ``U = onset | dc``).
+
+Cubes are pairs of variable bitmasks ``(pos, neg)``: variable *v* appears as a
+positive literal when bit *v* of ``pos`` is set, negative when bit *v* of
+``neg`` is set.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ReproError
+from repro.tt.truthtable import TruthTable, table_mask, variable_table
+
+Cube = Tuple[int, int]
+
+
+def cube_table(cube: Cube, num_vars: int) -> int:
+    """Truth table (integer) of a cube over *num_vars* variables."""
+    pos, neg = cube
+    bits = table_mask(num_vars)
+    for v in range(num_vars):
+        if (pos >> v) & 1:
+            bits &= variable_table(v, num_vars)
+        if (neg >> v) & 1:
+            bits &= ~variable_table(v, num_vars)
+    return bits & table_mask(num_vars)
+
+
+def cover_table(cubes: List[Cube], num_vars: int) -> int:
+    """Truth table (integer) of a sum of cubes."""
+    bits = 0
+    for cube in cubes:
+        bits |= cube_table(cube, num_vars)
+    return bits
+
+
+def isop(lower: TruthTable, upper: TruthTable) -> List[Cube]:
+    """Irredundant SOP cover ``C`` with ``lower ⊆ C ⊆ upper``.
+
+    Raises :class:`ReproError` when ``lower ⊄ upper``.
+    """
+    if lower.num_vars != upper.num_vars:
+        raise ReproError("isop bounds must share the variable count")
+    if lower.bits & ~upper.bits & table_mask(lower.num_vars):
+        raise ReproError("isop lower bound not contained in upper bound")
+    cubes, _table = _isop_rec(lower.bits, upper.bits, lower.num_vars,
+                              lower.num_vars)
+    return cubes
+
+
+def isop_table(table: TruthTable) -> List[Cube]:
+    """Irredundant SOP of an exactly specified function."""
+    return isop(table, table)
+
+
+def _isop_rec(lower: int, upper: int, var: int, num_vars: int):
+    """Recursive Minato–Morreale; returns (cubes, cover table bits)."""
+    if lower == 0:
+        return [], 0
+    full = table_mask(num_vars)
+    if upper & full == full:
+        return [(0, 0)], full
+    # Find the topmost variable where either bound still branches.
+    v = var - 1
+    while v >= 0:
+        mask = variable_table(v, num_vars)
+        shift = 1 << v
+        l0 = lower & ~mask
+        l1 = (lower & mask) >> shift
+        u0 = upper & ~mask
+        u1 = (upper & mask) >> shift
+        l1 = l1 | (l1 << shift)
+        l0 = l0 | (l0 << shift)
+        u1 = u1 | (u1 << shift)
+        u0 = u0 | (u0 << shift)
+        if l0 != l1 or u0 != u1:
+            break
+        v -= 1
+    if v < 0:
+        # Function is constant over remaining variables; lower != 0 here.
+        return [(0, 0)], full
+    # Cubes required exclusively in each branch.
+    cubes0, f0 = _isop_rec(l0 & ~u1 & full, u0, v, num_vars)
+    cubes1, f1 = _isop_rec(l1 & ~u0 & full, u1, v, num_vars)
+    # Remaining minterms can be covered without literal v.
+    new_lower = (l0 & ~f0) | (l1 & ~f1)
+    cubes2, f2 = _isop_rec(new_lower & full, u0 & u1, v, num_vars)
+    var_bit = 1 << v
+    result = ([(pos, neg | var_bit) for pos, neg in cubes0]
+              + [(pos | var_bit, neg) for pos, neg in cubes1]
+              + cubes2)
+    mask = variable_table(v, num_vars)
+    table = (f0 & ~mask) | (f1 & mask) | f2
+    return result, table
+
+
+def cube_literal_count(cubes: List[Cube]) -> int:
+    """Total number of literals in a cube list."""
+    return sum(bin(pos).count("1") + bin(neg).count("1") for pos, neg in cubes)

@@ -1,0 +1,126 @@
+"""NPN canonicalization of truth tables.
+
+Two functions are NPN-equivalent when one can be obtained from the other by
+Negating inputs, Permuting inputs, and/or Negating the output.  The rewriting
+move of the gradient engine (Section IV-A) matches 4-input cut functions
+against a precomputed library keyed by NPN class, so canonicalization must be
+deterministic and reasonably fast.
+
+For up to 4 variables we canonicalize exactly by exhausting all
+``2 * n! * 2**n`` transforms; beyond that a greedy semi-canonical form is used
+(sufficient for hashing, not guaranteed minimal).
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import List, Tuple
+
+from repro.tt.truthtable import TruthTable, table_mask
+
+#: A transform: (output negated, input phase mask, permutation tuple).
+NpnTransform = Tuple[bool, int, Tuple[int, ...]]
+
+
+def apply_transform(table: TruthTable, transform: NpnTransform) -> TruthTable:
+    """Apply an NPN transform to a truth table."""
+    out_neg, phase, perm = transform
+    result = table.permute(perm)
+    for v in range(table.num_vars):
+        if (phase >> v) & 1:
+            result = result.flip_variable(v)
+    if out_neg:
+        result = ~result
+    return result
+
+
+def invert_transform(transform: NpnTransform, num_vars: int) -> NpnTransform:
+    """Return the transform undoing *transform*."""
+    out_neg, phase, perm = transform
+    inv_perm = [0] * num_vars
+    for new_var, old_var in enumerate(perm):
+        inv_perm[old_var] = new_var
+    inv_phase = 0
+    for new_var, old_var in enumerate(perm):
+        if (phase >> new_var) & 1:
+            inv_phase |= 1 << old_var
+    return (out_neg, inv_phase, tuple(inv_perm))
+
+
+def npn_canonical(table: TruthTable) -> Tuple[TruthTable, NpnTransform]:
+    """Exact NPN-canonical representative (minimum integer encoding).
+
+    Returns ``(canonical, transform)`` with
+    ``apply_transform(table, transform) == canonical``.
+    Exhaustive: intended for ``num_vars <= 4``.
+    """
+    n = table.num_vars
+    best_bits = None
+    best_transform: NpnTransform = (False, 0, tuple(range(n)))
+    for perm in permutations(range(n)):
+        permuted = table.permute(perm)
+        for phase in range(1 << n):
+            candidate = permuted
+            for v in range(n):
+                if (phase >> v) & 1:
+                    candidate = candidate.flip_variable(v)
+            for out_neg in (False, True):
+                bits = candidate.bits ^ (table_mask(n) if out_neg else 0)
+                if best_bits is None or bits < best_bits:
+                    best_bits = bits
+                    best_transform = (out_neg, phase, tuple(perm))
+    return TruthTable(best_bits, n), best_transform
+
+
+def npn_semicanonical(table: TruthTable) -> Tuple[TruthTable, NpnTransform]:
+    """Greedy semi-canonical form for functions of any arity.
+
+    Normalizes output phase (bit 0 forced to 0), flips each input so its
+    positive cofactor has at least as many minterms as the negative one, then
+    sorts variables by cofactor weight.  Cheap and stable but not a true
+    canonical form; use only for hashing/cache keys.
+    """
+    n = table.num_vars
+    work = table
+    phase = 0
+    weights: List[Tuple[int, int]] = []
+    for v in range(n):
+        ones_pos = work.cofactor(v, True).count_ones()
+        ones_neg = work.cofactor(v, False).count_ones()
+        if ones_pos < ones_neg:
+            work = work.flip_variable(v)
+            phase |= 1 << v
+            ones_pos, ones_neg = ones_neg, ones_pos
+        weights.append((ones_pos, v))
+    order = [v for _w, v in sorted(weights, key=lambda t: (t[0], t[1]))]
+    work = work.permute(order)
+    # Output phase is normalized last (bit 0 of the final table forced to
+    # 0), matching apply_transform's perm → phase → negate ordering.
+    out_neg = bool(work.bits & 1)
+    if out_neg:
+        work = ~work
+    # The recorded transform applies permutation first (matching
+    # apply_transform), so the phase mask must be re-indexed.
+    perm_phase = 0
+    for new_var, old_var in enumerate(order):
+        if (phase >> old_var) & 1:
+            perm_phase |= 1 << new_var
+    return work, (out_neg, perm_phase, tuple(order))
+
+
+def npn_classes_upto(num_vars: int) -> List[TruthTable]:
+    """Enumerate all NPN class representatives of *num_vars* variables.
+
+    Exhaustive over all ``2**2**n`` functions; practical for ``n <= 3``
+    (``n = 4`` takes minutes — the rewrite library instead canonicalizes
+    on demand and caches).
+    """
+    seen = set()
+    out: List[TruthTable] = []
+    for bits in range(1 << (1 << num_vars)):
+        table = TruthTable(bits, num_vars)
+        canon, _t = npn_canonical(table)
+        if canon.bits not in seen:
+            seen.add(canon.bits)
+            out.append(canon)
+    return out

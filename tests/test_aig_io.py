@@ -1,0 +1,75 @@
+"""Tests for ASCII AIGER reading/writing."""
+
+import io
+
+import pytest
+
+from repro.aig.aig import Aig, lit_not
+from repro.aig.io_aiger import read_aag, write_aag, write_aag_string
+from repro.aig.simulate import po_tables
+from repro.errors import AigError
+
+
+def test_round_trip_function(random_aig_factory):
+    for seed in range(4):
+        aig = random_aig_factory(6, 50, seed=seed)
+        text = write_aag_string(aig)
+        back = read_aag(text)
+        assert back.num_pis == aig.num_pis
+        assert back.num_pos == aig.num_pos
+        assert po_tables(back) == po_tables(aig)
+
+
+def test_round_trip_names():
+    aig = Aig()
+    a = aig.add_pi("data_in")
+    aig.add_po(lit_not(a), "data_out")
+    back = read_aag(write_aag_string(aig))
+    assert back.pi_name(0) == "data_in"
+    assert back.po_name(0) == "data_out"
+
+
+def test_write_to_file(tmp_path, random_aig_factory):
+    aig = random_aig_factory(4, 20, seed=1)
+    path = str(tmp_path / "net.aag")
+    write_aag(aig, path)
+    back = read_aag(path)
+    assert po_tables(back) == po_tables(aig)
+
+
+def test_constant_po():
+    aig = Aig()
+    aig.add_pi()
+    aig.add_po(0, "zero")
+    aig.add_po(1, "one")
+    back = read_aag(write_aag_string(aig))
+    assert back.pos() == [0, 1]
+
+
+def test_header_with_known_example():
+    # Half adder in AIGER: s = a^b needs 3 ANDs, c = a&b reuses one
+    text = """aag 5 2 0 2 3
+2
+4
+10
+6
+6 2 4
+8 3 5
+10 9 7
+"""
+    aig = read_aag(text)
+    assert aig.num_pis == 2
+    assert aig.num_ands == 3
+    tables = po_tables(aig)
+    assert tables[0] == 0b0110  # xor
+    assert tables[1] == 0b1000  # and
+
+
+def test_rejects_sequential():
+    with pytest.raises(AigError):
+        read_aag("aag 1 0 1 0 0\n")
+
+
+def test_rejects_garbage_header():
+    with pytest.raises(AigError):
+        read_aag(io.StringIO("not an aiger file\n"))

@@ -1,0 +1,94 @@
+"""Tests for traversal utilities (cones, supports, similarity)."""
+
+from repro.aig.aig import Aig, lit_node, lit_not
+from repro.aig.traversal import (
+    all_supports,
+    cone_inclusion,
+    node_level_map,
+    structural_support,
+    support_similarity,
+    topological_order_all,
+    transitive_fanin,
+    transitive_fanout,
+)
+
+
+def _diamond():
+    """a, b -> shared -> two branches -> top; returns (aig, node ids)."""
+    aig = Aig()
+    a, b, c = aig.add_pis(3)
+    shared = aig.add_and(a, b)
+    left = aig.add_and(shared, c)
+    right = aig.add_and(shared, lit_not(c))
+    top = aig.add_or(left, right)
+    aig.add_po(top)
+    nodes = {name: lit_node(x) for name, x in
+             [("shared", shared), ("left", left), ("right", right),
+              ("top", top)]}
+    return aig, nodes
+
+
+def test_transitive_fanin_includes_roots_and_pis():
+    aig, nodes = _diamond()
+    tfi = transitive_fanin(aig, [nodes["top"]])
+    assert nodes["top"] in tfi
+    assert nodes["shared"] in tfi
+    assert all(p in tfi for p in aig.pis())
+
+
+def test_transitive_fanin_without_pis():
+    aig, nodes = _diamond()
+    tfi = transitive_fanin(aig, [nodes["top"]], include_pis=False)
+    assert all(aig.is_and(n) for n in tfi)
+
+
+def test_transitive_fanout():
+    aig, nodes = _diamond()
+    tfo = transitive_fanout(aig, [nodes["shared"]])
+    assert nodes["left"] in tfo
+    assert nodes["right"] in tfo
+    assert nodes["top"] in tfo
+
+
+def test_structural_support():
+    aig, nodes = _diamond()
+    sup = structural_support(aig, nodes["shared"])
+    assert sup == set(aig.pis()[:2])
+
+
+def test_all_supports_matches_individual(random_aig_factory):
+    aig = random_aig_factory(6, 60, seed=4)
+    supports = all_supports(aig)
+    for n in list(aig.ands())[:20]:
+        assert supports[n] == frozenset(structural_support(aig, n))
+
+
+def test_support_similarity_bounds():
+    assert support_similarity(frozenset(), frozenset()) == 1.0
+    assert support_similarity(frozenset({1}), frozenset({2})) == 0.0
+    assert support_similarity(frozenset({1, 2}), frozenset({2, 3})) == 1 / 3
+
+
+def test_cone_inclusion_full_and_partial():
+    aig, nodes = _diamond()
+    # shared's cone is fully inside top's cone
+    assert cone_inclusion(aig, nodes["shared"], nodes["top"]) == 1.0
+    # top's cone is not fully inside shared's cone
+    assert cone_inclusion(aig, nodes["top"], nodes["shared"]) < 1.0
+
+
+def test_topological_order_all_covers_dangling():
+    aig = Aig()
+    a, b = aig.add_pis(2)
+    used = aig.add_and(a, b)
+    dangling = aig.add_and(a, lit_not(b))
+    aig.add_po(used)
+    order = topological_order_all(aig)
+    assert lit_node(dangling) in order
+    assert lit_node(used) in order
+
+
+def test_node_level_map_consistent_with_depth(random_aig_factory):
+    aig = random_aig_factory(8, 120, seed=6)
+    levels = node_level_map(aig)
+    assert max(levels[lit_node(po)] for po in aig.pos()) == aig.depth

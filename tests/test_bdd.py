@@ -1,0 +1,160 @@
+"""Tests for the BDD manager, cross-checked against truth tables."""
+
+import random
+
+import pytest
+
+from repro.bdd.manager import FALSE, TRUE, BddManager
+from repro.errors import BddLimitError
+from repro.tt.truthtable import TruthTable
+
+
+def build_from_table(mgr: BddManager, table: TruthTable) -> int:
+    """Shannon-expand a truth table into the manager."""
+    def rec(t, var):
+        if t.is_const0():
+            return FALSE
+        if t.is_const1():
+            return TRUE
+        lo = rec(t.cofactor(var, False), var + 1)
+        hi = rec(t.cofactor(var, True), var + 1)
+        return mgr.ite(mgr.var(var), hi, lo)
+    return rec(table, 0)
+
+
+class TestBasics:
+    def test_terminals(self):
+        mgr = BddManager(2)
+        assert mgr.is_terminal(FALSE)
+        assert mgr.is_terminal(TRUE)
+        assert not mgr.is_terminal(mgr.var(0))
+
+    def test_var_structure(self):
+        mgr = BddManager(2)
+        x = mgr.var(0)
+        assert mgr.var_of(x) == 0
+        assert mgr.low(x) == FALSE
+        assert mgr.high(x) == TRUE
+
+    def test_nvar(self):
+        mgr = BddManager(1)
+        nx = mgr.nvar(0)
+        assert nx == mgr.negate(mgr.var(0))
+
+    def test_reduction_rule(self):
+        mgr = BddManager(2)
+        # ite(x, y, y) must not create a node
+        y = mgr.var(1)
+        assert mgr.ite(mgr.var(0), y, y) == y
+
+
+class TestCanonicity:
+    def test_same_function_same_node(self):
+        rng = random.Random(0)
+        for _ in range(40):
+            n = rng.randint(1, 5)
+            mgr = BddManager(n)
+            t = TruthTable(rng.getrandbits(1 << n), n)
+            assert build_from_table(mgr, t) == build_from_table(mgr, t)
+
+    def test_different_functions_different_nodes(self):
+        mgr = BddManager(2)
+        a, b = mgr.var(0), mgr.var(1)
+        assert mgr.apply_and(a, b) != mgr.apply_or(a, b)
+
+
+class TestOperations:
+    def test_ops_match_truth_tables(self):
+        rng = random.Random(1)
+        for _ in range(50):
+            n = rng.randint(1, 5)
+            mgr = BddManager(n)
+            t1 = TruthTable(rng.getrandbits(1 << n), n)
+            t2 = TruthTable(rng.getrandbits(1 << n), n)
+            b1 = build_from_table(mgr, t1)
+            b2 = build_from_table(mgr, t2)
+            assert mgr.to_truth_bits(mgr.apply_and(b1, b2), n) == (t1 & t2).bits
+            assert mgr.to_truth_bits(mgr.apply_or(b1, b2), n) == (t1 | t2).bits
+            assert mgr.to_truth_bits(mgr.apply_xor(b1, b2), n) == (t1 ^ t2).bits
+            assert mgr.to_truth_bits(mgr.apply_xnor(b1, b2), n) == (~(t1 ^ t2)).bits
+            assert mgr.to_truth_bits(mgr.negate(b1), n) == (~t1).bits
+
+    def test_cofactor_and_quantify(self):
+        rng = random.Random(2)
+        for _ in range(40):
+            n = rng.randint(2, 5)
+            mgr = BddManager(n)
+            t = TruthTable(rng.getrandbits(1 << n), n)
+            b = build_from_table(mgr, t)
+            v = rng.randrange(n)
+            assert mgr.to_truth_bits(mgr.cofactor(b, v, True), n) == \
+                t.cofactor(v, True).bits
+            assert mgr.to_truth_bits(mgr.exists(b, [v]), n) == t.exists(v).bits
+            assert mgr.to_truth_bits(mgr.forall(b, [v]), n) == t.forall(v).bits
+
+    def test_compose(self):
+        mgr = BddManager(3)
+        a, b, c = mgr.var(0), mgr.var(1), mgr.var(2)
+        f = mgr.apply_and(a, b)
+        # substitute b := c  ->  a & c
+        assert mgr.compose(f, 1, c) == mgr.apply_and(a, c)
+
+    def test_multi_ops_short_circuit(self):
+        mgr = BddManager(3)
+        assert mgr.and_multi([mgr.var(0), FALSE, mgr.var(1)]) == FALSE
+        assert mgr.or_multi([mgr.var(0), TRUE]) == TRUE
+
+
+class TestQueries:
+    def test_size_support_satcount(self):
+        rng = random.Random(3)
+        for _ in range(40):
+            n = rng.randint(1, 5)
+            mgr = BddManager(n)
+            t = TruthTable(rng.getrandbits(1 << n), n)
+            b = build_from_table(mgr, t)
+            assert mgr.satcount(b, n) == t.count_ones()
+            assert mgr.support(b) == t.support()
+            if b <= 1:
+                assert mgr.size(b) == 0
+            else:
+                assert mgr.size(b) >= 1
+
+    def test_pick_cube_satisfies(self):
+        rng = random.Random(4)
+        for _ in range(30):
+            n = rng.randint(1, 5)
+            mgr = BddManager(n)
+            bits = rng.getrandbits(1 << n)
+            if bits == 0:
+                continue
+            b = build_from_table(mgr, TruthTable(bits, n))
+            cube = mgr.pick_cube(b)
+            assignment = [cube.get(i, False) for i in range(n)]
+            assert mgr.eval(b, assignment)
+
+    def test_pick_cube_unsat(self):
+        mgr = BddManager(2)
+        assert mgr.pick_cube(FALSE) is None
+
+
+class TestNodeLimit:
+    def test_limit_raises(self):
+        mgr = BddManager(12, node_limit=20)
+        with pytest.raises(BddLimitError):
+            acc = TRUE
+            for i in range(0, 12, 2):
+                acc = mgr.apply_and(acc,
+                                    mgr.apply_xor(mgr.var(i), mgr.var(i + 1)))
+
+    def test_limit_allows_small_functions(self):
+        mgr = BddManager(4, node_limit=50)
+        f = mgr.apply_and(mgr.var(0), mgr.var(1))
+        assert mgr.size(f) == 2
+
+    def test_clear_caches_keeps_functions(self):
+        mgr = BddManager(3)
+        f = mgr.apply_xor(mgr.var(0), mgr.var(1))
+        mgr.clear_caches()
+        # same function is still canonical after cache clear
+        assert mgr.apply_xor(mgr.var(0), mgr.var(1)) == f

@@ -1,0 +1,87 @@
+"""Tests for BDD ↔ AIG conversion (the strashing step of Alg. 1)."""
+
+import random
+
+from repro.aig.aig import Aig, lit_node
+from repro.aig.simulate import po_tables
+from repro.bdd.manager import FALSE, TRUE, BddManager
+from repro.bdd.to_aig import aig_window_to_bdds, bdd_of_literal, bdd_to_aig
+from repro.tt.truthtable import TruthTable
+
+from tests.test_bdd import build_from_table
+
+
+def test_bdd_to_aig_function_preserved():
+    rng = random.Random(0)
+    for _ in range(40):
+        n = rng.randint(1, 6)
+        mgr = BddManager(n)
+        t = TruthTable(rng.getrandbits(1 << n), n)
+        root = build_from_table(mgr, t)
+        aig = Aig()
+        xs = aig.add_pis(n)
+        out = bdd_to_aig(mgr, root, aig, xs)
+        aig.add_po(out)
+        assert po_tables(aig)[0] == t.bits
+
+
+def test_bdd_to_aig_terminals():
+    mgr = BddManager(1)
+    aig = Aig()
+    xs = aig.add_pis(1)
+    assert bdd_to_aig(mgr, FALSE, aig, xs) == 0
+    assert bdd_to_aig(mgr, TRUE, aig, xs) == 1
+
+
+def test_bdd_to_aig_shares_with_known_nodes():
+    """Seeding `known` implements the node reuse of Alg. 1 lines 5-7:
+    the same BDD built twice with a seeded memo creates no new gates."""
+    mgr = BddManager(3)
+    f = mgr.apply_and(mgr.var(0), mgr.apply_or(mgr.var(1), mgr.var(2)))
+    aig = Aig()
+    xs = aig.add_pis(3)
+    first = bdd_to_aig(mgr, f, aig, xs)
+    size_after_first = aig.num_ands
+    second = bdd_to_aig(mgr, f, aig, xs, known={f: first})
+    assert second == first
+    assert aig.num_ands == size_after_first
+
+
+def test_window_to_bdds_matches_functions():
+    from tests.conftest import make_random_aig
+    aig = make_random_aig(5, 40, seed=3)
+    mgr = BddManager(5)
+    leaf_bdds = {p: mgr.var(i) for i, p in enumerate(aig.pis())}
+    bdds = aig_window_to_bdds(aig, aig.topological_order(), leaf_bdds, mgr)
+    from repro.aig.simulate import simulate_complete
+    values = simulate_complete(aig)
+    for node, bdd in bdds.items():
+        if aig.is_and(node):
+            assert mgr.to_truth_bits(bdd, 5) == values[node]
+
+
+def test_window_to_bdds_bails_out_gracefully():
+    from repro.aig.compose import multiplier
+    aig = Aig()
+    a = aig.add_pis(6)
+    b = aig.add_pis(6)
+    for p in multiplier(aig, a, b):
+        aig.add_po(p)
+    mgr = BddManager(12, node_limit=120)
+    leaf_bdds = {p: mgr.var(i) for i, p in enumerate(aig.pis())}
+    bdds = aig_window_to_bdds(aig, aig.topological_order(), leaf_bdds, mgr)
+    # Some nodes bail out (absent), none raise
+    assert len(bdds) < aig.num_ands + aig.num_pis + 1
+
+
+def test_bdd_of_literal_phases():
+    from tests.conftest import make_random_aig
+    aig = make_random_aig(4, 20, seed=1)
+    mgr = BddManager(4)
+    leaf_bdds = {p: mgr.var(i) for i, p in enumerate(aig.pis())}
+    bdds = aig_window_to_bdds(aig, aig.topological_order(), leaf_bdds, mgr)
+    node = aig.topological_order()[-1]
+    pos = bdd_of_literal(2 * node, bdds, mgr)
+    neg = bdd_of_literal(2 * node + 1, bdds, mgr)
+    assert neg == mgr.negate(pos)
+    assert bdd_of_literal(2 * (aig.max_node + 0), {}, mgr) is None

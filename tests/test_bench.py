@@ -1,0 +1,193 @@
+"""Tests for the benchmark generators (functional correctness and profiles)."""
+
+import math
+
+import pytest
+
+from repro.aig.simulate import po_words, simulate_words
+from repro.bench import arith, control
+from repro.bench.registry import (
+    BENCHMARKS,
+    PAPER,
+    TABLE1_BENCHMARKS,
+    TABLE2_BENCHMARKS,
+    benchmark_names,
+    get_benchmark,
+)
+from repro.errors import BenchmarkError
+
+
+def run_single(aig, value_bits):
+    """Evaluate *aig* on one assignment given as a list of 0/1 per PI."""
+    words = [(1 << 64) - 1 if v else 0 for v in value_bits]
+    return [w & 1 for w in po_words(aig, simulate_words(aig, words))]
+
+
+def int_to_bits(value, width):
+    return [(value >> i) & 1 for i in range(width)]
+
+
+class TestArithGenerators:
+    def test_adder(self):
+        aig = arith.adder(6)
+        for a, b in [(0, 0), (63, 63), (21, 42), (17, 5)]:
+            outs = run_single(aig, int_to_bits(a, 6) + int_to_bits(b, 6))
+            assert sum(o << i for i, o in enumerate(outs)) == a + b
+
+    def test_bar_rotates(self):
+        aig = arith.bar(8)
+        data, shift = 0b10010110, 3
+        outs = run_single(aig, int_to_bits(data, 8) + int_to_bits(shift, 3))
+        got = sum(o << i for i, o in enumerate(outs))
+        assert got == ((data << shift) | (data >> (8 - shift))) & 0xFF
+
+    def test_div(self):
+        aig = arith.div(5)
+        for n, d in [(20, 3), (31, 1), (7, 7), (0, 5)]:
+            outs = run_single(aig, int_to_bits(n, 5) + int_to_bits(d, 5))
+            q = sum(outs[i] << i for i in range(5))
+            r = sum(outs[5 + i] << i for i in range(5))
+            assert (q, r) == (n // d, n % d)
+
+    def test_sqrt(self):
+        aig = arith.sqrt(8)
+        for v in [0, 1, 35, 64, 255]:
+            outs = run_single(aig, int_to_bits(v, 8))
+            assert sum(o << i for i, o in enumerate(outs)) == math.isqrt(v)
+
+    def test_square(self):
+        aig = arith.square_unit(5)
+        for v in [0, 7, 31]:
+            outs = run_single(aig, int_to_bits(v, 5))
+            assert sum(o << i for i, o in enumerate(outs)) == v * v
+
+    def test_hypotenuse(self):
+        aig = arith.hypotenuse_unit(4)
+        for a, b in [(3, 4), (15, 15), (0, 9)]:
+            outs = run_single(aig, int_to_bits(a, 4) + int_to_bits(b, 4))
+            got = sum(o << i for i, o in enumerate(outs))
+            assert got == math.isqrt(a * a + b * b)
+
+    def test_log2_integer_part(self):
+        aig = arith.log2_unit(8)
+        for v in [1, 2, 4, 9, 100, 255]:
+            outs = run_single(aig, int_to_bits(v, 8))
+            int_part = sum(outs[i] << i for i in range(3))
+            assert int_part == int(math.log2(v))
+
+    def test_log2_fraction_approximates(self):
+        aig = arith.log2_unit(8)
+        for v in [3, 10, 100, 200]:
+            outs = run_single(aig, int_to_bits(v, 8))
+            int_part = sum(outs[i] << i for i in range(3))
+            frac = sum(b / 2 ** (i + 1) for i, b in enumerate(outs[3:]))
+            assert abs(int_part + frac - math.log2(v)) < 0.2
+
+    def test_sin_approximates(self):
+        aig = arith.sin_unit(8, iterations=8)
+        for frac in [0.1, 0.4, 0.8]:
+            v = int(frac * (1 << 8))
+            outs = run_single(aig, int_to_bits(v, 8))
+            got = sum(o << i for i, o in enumerate(outs)) / (1 << 8)
+            assert abs(got - math.sin(frac * math.pi / 2)) < 0.08
+
+
+class TestControlGenerators:
+    def test_arbiter_grants_first_masked_request(self):
+        aig = control.arbiter(4)
+        # requests 0b1010, mask passing positions >= 2 (0b1100)
+        outs = run_single(aig, int_to_bits(0b1010, 4) + int_to_bits(0b1100, 4))
+        grants = outs[:4]
+        assert grants == [0, 0, 0, 1]  # req at 3 is the first masked one
+        assert outs[4] == 1  # any
+
+    def test_arbiter_falls_back_to_unmasked(self):
+        aig = control.arbiter(4)
+        outs = run_single(aig, int_to_bits(0b0010, 4) + int_to_bits(0b1100, 4))
+        assert outs[:4] == [0, 1, 0, 0]
+
+    def test_arbiter_onehot_property(self):
+        import random
+        rng = random.Random(0)
+        aig = control.arbiter(8)
+        for _ in range(30):
+            req = rng.getrandbits(8)
+            mask = rng.getrandbits(8)
+            outs = run_single(aig, int_to_bits(req, 8) + int_to_bits(mask, 8))
+            grants = outs[:8]
+            assert sum(grants) == (1 if req else 0)
+            if req:
+                granted = grants.index(1)
+                assert (req >> granted) & 1
+
+    def test_priority_encoder(self):
+        aig = control.priority_encoder(8)
+        for req in [0b00000001, 0b10000000, 0b00010100, 0]:
+            outs = run_single(aig, int_to_bits(req, 8))
+            valid = outs[-1]
+            idx = sum(outs[i] << i for i in range(3))
+            if req == 0:
+                assert valid == 0
+            else:
+                assert valid == 1
+                assert idx == (req & -req).bit_length() - 1
+
+    def test_voter_majority(self):
+        aig = control.voter(7)
+        for v in [0b1111000, 0b0000111, 0b1010101, 0]:
+            outs = run_single(aig, int_to_bits(v, 7))
+            assert outs[0] == (bin(v).count("1") > 3)
+
+    def test_voter_rejects_even_width(self):
+        with pytest.raises(BenchmarkError):
+            control.voter(8)
+
+    def test_router_match_flag(self):
+        import random
+        rng = random.Random(1)
+        aig = control.router()
+        # with all entries disabled there is never a match
+        outs = run_single(aig, [rng.getrandbits(1) for _ in range(12)] + [0] * 8)
+        assert outs[-1] == 0
+
+    def test_control_function_deterministic(self):
+        a1 = control.control_function("c", 8, 6, seed=3)
+        a2 = control.control_function("c", 8, 6, seed=3)
+        from repro.aig.io_aiger import write_aag_string
+        assert write_aag_string(a1) == write_aag_string(a2)
+
+    def test_max_unit(self):
+        aig = control.max_unit(4, operands=4)
+        vals = [3, 14, 7, 9]
+        bits = []
+        for v in vals:
+            bits += int_to_bits(v, 4)
+        outs = run_single(aig, bits)
+        assert sum(outs[i] << i for i in range(4)) == 14
+        assert sum(outs[4 + i] << i for i in range(2)) == 1  # argmax index
+
+
+class TestRegistry:
+    def test_all_scaled_benchmarks_instantiate(self):
+        for name in benchmark_names():
+            aig = get_benchmark(name, scaled=True)
+            assert aig.num_ands > 0
+            assert aig.num_pis > 0
+
+    def test_table_lists_are_registered(self):
+        for name in TABLE1_BENCHMARKS + TABLE2_BENCHMARKS:
+            assert name in BENCHMARKS
+
+    def test_paper_references_present(self):
+        for name in TABLE1_BENCHMARKS:
+            assert PAPER[name].table1_luts is not None
+        for name in TABLE2_BENCHMARKS:
+            assert PAPER[name].table2_size is not None
+
+    def test_native_io_profiles_match_paper(self):
+        """The native generators must reproduce the paper's I/O counts for
+        the structurally-defined benchmarks."""
+        for name in ("arbiter", "priority", "voter", "square", "mult", "div"):
+            bench = BENCHMARKS[name]
+            aig = bench.native()
+            assert (aig.num_pis, aig.num_pos) == bench.reference.io, name

@@ -1,0 +1,71 @@
+"""Tests for the CLI entry point and the ablation API."""
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.experiments.ablation import (
+    AblationPoint,
+    ablate_bdd_reordering,
+    ablate_mspf_engine,
+    ablate_xor_cost,
+    format_points,
+)
+
+
+class TestCli:
+    def test_no_args_prints_usage(self, capsys):
+        assert cli_main([]) == 1
+        assert "Commands" in capsys.readouterr().out
+
+    def test_unknown_command(self, capsys):
+        assert cli_main(["frobnicate"]) == 1
+
+    def test_bench_command(self, capsys):
+        assert cli_main(["bench", "router"]) == 0
+        out = capsys.readouterr().out
+        assert "router" in out and "ands" in out
+
+    def test_fig1_command(self, capsys):
+        assert cli_main(["fig1"]) == 0
+        assert "Boolean difference example" in capsys.readouterr().out
+
+    def test_optimize_command(self, tmp_path, capsys, random_aig_factory):
+        from repro.aig.io_aiger import read_aag, write_aag
+        from repro.sat.equivalence import assert_equivalent
+        aig = random_aig_factory(6, 60, seed=1)
+        src = str(tmp_path / "in.aag")
+        dst = str(tmp_path / "out.aag")
+        write_aag(aig, src)
+        assert cli_main(["optimize", src, dst]) == 0
+        out = capsys.readouterr().out
+        assert "verified=True" in out
+        assert_equivalent(aig, read_aag(dst))
+
+
+class TestAblationApi:
+    def test_xor_cost_points_structured(self):
+        points = ablate_xor_cost("router", costs=(0, 6))
+        assert len(points) == 2
+        for p in points:
+            assert isinstance(p, AblationPoint)
+            assert p.size_after > 0
+            assert p.runtime_s >= 0
+
+    def test_reorder_points(self):
+        points = ablate_bdd_reordering("router")
+        labels = {p.label for p in points}
+        assert any("paper" in l for l in labels)
+        assert any("sifting" in l for l in labels)
+        off = next(p for p in points if "paper" in p.label)
+        on = next(p for p in points if "sifting" in p.label)
+        assert on.extra["bdd_nodes"] <= off.extra["bdd_nodes"]
+
+    def test_mspf_engine_points(self):
+        points = ablate_mspf_engine("router")
+        tt = next(p for p in points if "truth-table" in p.label)
+        bdd = next(p for p in points if "BDD" in p.label)
+        assert bdd.extra["processed"] >= tt.extra["processed"]
+
+    def test_format_points(self):
+        text = format_points("T", [AblationPoint("x", 5, 0.1)])
+        assert "T" in text and "x" in text

@@ -1,0 +1,116 @@
+"""Edge cases and failure injection across modules."""
+
+import pytest
+
+from repro.aig.aig import Aig, lit_not
+from repro.errors import AigError, BddLimitError, ReproError, SatError
+
+
+class TestDegenerateNetworks:
+    def test_po_on_pi(self):
+        aig = Aig()
+        a = aig.add_pi()
+        aig.add_po(a)
+        aig.add_po(lit_not(a))
+        assert aig.num_ands == 0
+        assert aig.depth == 0
+        from repro.sbm.flow import sbm_flow
+        from repro.sbm.config import FlowConfig
+        optimized, _stats = sbm_flow(aig, FlowConfig(iterations=1))
+        from repro.aig.simulate import po_tables
+        assert po_tables(optimized) == po_tables(aig)
+
+    def test_constant_only_network(self):
+        aig = Aig()
+        aig.add_pi()
+        aig.add_po(0)
+        aig.add_po(1)
+        from repro.opt.balance import balance
+        balanced = balance(aig)
+        assert balanced.pos() == [0, 1]
+        from repro.mapping.lut import map_luts
+        assert map_luts(aig).area == 0
+
+    def test_no_pos(self):
+        aig = Aig()
+        aig.add_pis(3)
+        assert aig.topological_order() == []
+        from repro.partition.partitioner import partition_network
+        assert partition_network(aig) == []
+
+    def test_single_gate_partition(self):
+        aig = Aig()
+        a, b = aig.add_pis(2)
+        aig.add_po(aig.add_and(a, b))
+        from repro.sbm.boolean_difference import boolean_difference_pass
+        stats = boolean_difference_pass(aig)
+        assert stats.partitions == 1
+        from repro.aig.simulate import po_tables
+        assert po_tables(aig)[0] == 0b1000
+
+    def test_optimizers_handle_duplicate_pos(self):
+        aig = Aig()
+        a, b = aig.add_pis(2)
+        f = aig.add_and(a, b)
+        for _ in range(4):
+            aig.add_po(f)
+        from repro.opt.resub import resub
+        resub(aig)
+        aig.check()
+        assert aig.num_pos == 4
+
+
+class TestFailureInjection:
+    def test_corrupt_aag_rejected(self):
+        from repro.aig.io_aiger import read_aag
+        with pytest.raises((AigError, ValueError, IndexError)):
+            read_aag("aag 2 1 0 1 1\n2\n4\n4 9 9\n")  # literal past maxvar
+
+    def test_sat_zero_literal(self):
+        from repro.sat.solver import SatSolver
+        with pytest.raises(SatError):
+            SatSolver().add_clause([1, 0])
+
+    def test_bdd_limit_is_repro_error(self):
+        assert issubclass(BddLimitError, ReproError)
+        from repro.bdd.manager import BddManager
+        mgr = BddManager(2, node_limit=4)
+        with pytest.raises(BddLimitError):
+            mgr.new_var()  # terminals + 2 vars = 4, the next one trips
+
+    def test_window_function_requires_complete_cut(self):
+        from repro.opt.refactor import window_function
+        aig = Aig()
+        a, b, c = aig.add_pis(3)
+        f = aig.add_and(aig.add_and(a, b), c)
+        aig.add_po(f)
+        # leaves that do not cut the cone -> KeyError surfaces the misuse
+        from repro.aig.aig import lit_node
+        with pytest.raises(KeyError):
+            window_function(aig, lit_node(f), [lit_node(a) >> 1])
+
+    def test_flow_on_empty_network(self):
+        from repro.sbm.config import FlowConfig
+        from repro.sbm.flow import sbm_flow
+        aig = Aig()
+        aig.add_pi()
+        aig.add_po(2)  # the PI's literal
+        optimized, _ = sbm_flow(aig, FlowConfig(iterations=1))
+        assert optimized.num_ands == 0
+
+    def test_sop_network_pi_po(self):
+        from repro.sop.network import SopNetwork
+        aig = Aig()
+        a = aig.add_pi("x")
+        aig.add_po(lit_not(a), "y")
+        net = SopNetwork.from_aig(aig)
+        back = net.to_aig()
+        from repro.aig.simulate import po_tables
+        assert po_tables(back) == po_tables(aig)
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        from repro.errors import BenchmarkError
+        for exc in (AigError, BddLimitError, SatError, BenchmarkError):
+            assert issubclass(exc, ReproError)

@@ -1,0 +1,186 @@
+"""Tests for the classic optimization passes (balance/rewrite/refactor/resub)."""
+
+import pytest
+
+from repro.aig.aig import Aig, lit_node, lit_not
+from repro.aig.simulate import po_tables
+from repro.opt.balance import balance
+from repro.opt.refactor import refactor, window_function
+from repro.opt.resub import resub
+from repro.opt.rewrite import RewriteLibrary, default_library, rewrite
+from repro.opt.scripts import compress2rs_step, quick_optimize, resyn2rs
+from repro.opt.shared import try_replace
+from repro.sat.equivalence import assert_equivalent
+from repro.tt.truthtable import TruthTable
+
+
+class TestTryReplace:
+    def test_commits_profitable_move(self):
+        aig = Aig()
+        a, b, c = aig.add_pis(3)
+        chain = aig.add_and(aig.add_and(a, b), aig.add_and(a, c))
+        aig.add_po(chain)
+        root = lit_node(chain)
+
+        def build():
+            return aig.add_and(a, aig.add_and(b, c))
+
+        gain = try_replace(aig, root, build, min_gain=1)
+        assert gain is not None and gain >= 1
+        aig.check()
+
+    def test_rejects_unprofitable_and_rolls_back(self):
+        aig = Aig()
+        a, b = aig.add_pis(2)
+        f = aig.add_and(a, b)
+        aig.add_po(f)
+        size = aig.num_ands
+
+        def build():
+            # a worse implementation: (a & b) | (a & b & a)... bigger
+            return aig.add_and(aig.add_and(a, b), aig.add_or(a, b))
+
+        assert try_replace(aig, lit_node(f), build, min_gain=1) is None
+        assert aig.num_ands == size
+        aig.check()
+
+    def test_rejects_cycle_creating_move(self):
+        aig = Aig()
+        a, b, c = aig.add_pis(3)
+        inner = aig.add_and(a, b)
+        outer = aig.add_and(inner, c)
+        aig.add_po(outer)
+
+        def build():
+            # references the root's own fanout cone -> would create a cycle
+            return aig.add_and(outer, a)
+
+        assert try_replace(aig, lit_node(inner), build, min_gain=0) is None
+        aig.check()
+
+    def test_zero_gain_reshape_allowed(self):
+        aig = Aig()
+        a, b, c = aig.add_pis(3)
+        f = aig.add_and(aig.add_and(a, b), c)
+        aig.add_po(f)
+
+        def build():
+            return aig.add_and(a, aig.add_and(b, c))
+
+        gain = try_replace(aig, lit_node(f), build, min_gain=0)
+        assert gain == 0
+        aig.check()
+
+
+class TestBalance:
+    def test_reduces_depth_of_chain(self):
+        aig = Aig()
+        xs = aig.add_pis(8)
+        acc = xs[0]
+        for x in xs[1:]:
+            acc = aig.add_and(acc, x)
+        aig.add_po(acc)
+        assert aig.depth == 7
+        balanced = balance(aig)
+        assert balanced.depth == 3
+        assert_equivalent(aig, balanced)
+
+    def test_never_increases_size(self, random_aig_factory):
+        for seed in range(4):
+            aig = random_aig_factory(8, 100, seed=seed)
+            balanced = balance(aig)
+            assert balanced.num_ands <= aig.num_ands
+            assert balanced.depth <= aig.depth
+            assert_equivalent(aig, balanced)
+
+    def test_respects_complement_boundaries(self):
+        aig = Aig()
+        a, b, c = aig.add_pis(3)
+        # NOT between ANDs blocks tree collection
+        f = aig.add_and(lit_not(aig.add_and(a, b)), c)
+        aig.add_po(f)
+        assert_equivalent(aig, balance(aig))
+
+
+class TestRewriteLibrary:
+    def test_build_implements_any_function(self):
+        import random
+        rng = random.Random(0)
+        lib = RewriteLibrary()
+        for _ in range(100):
+            n = rng.randint(2, 4)
+            t = TruthTable(rng.getrandbits(1 << n), n)
+            aig = Aig()
+            xs = aig.add_pis(n)
+            out = lib.build(aig, t, xs)
+            aig.add_po(out)
+            assert po_tables(aig)[0] == t.bits
+
+    def test_default_library_is_shared(self):
+        assert default_library() is default_library()
+
+
+class TestPasses:
+    @pytest.mark.parametrize("pass_fn", [rewrite, refactor, resub])
+    def test_pass_preserves_function(self, pass_fn, random_aig_factory):
+        for seed in range(3):
+            aig = random_aig_factory(8, 150, seed=seed)
+            reference = aig.cleanup()
+            pass_fn(aig)
+            aig.check()
+            assert_equivalent(reference, aig.cleanup())
+
+    @pytest.mark.parametrize("pass_fn", [rewrite, refactor, resub])
+    def test_pass_never_grows(self, pass_fn, random_aig_factory):
+        aig = random_aig_factory(8, 150, seed=11)
+        before = aig.cleanup().num_ands
+        pass_fn(aig)
+        assert aig.cleanup().num_ands <= before
+
+    def test_rewrite_finds_gains_on_redundant_logic(self, random_aig_factory):
+        aig = random_aig_factory(8, 200, seed=4)
+        assert rewrite(aig) > 0
+
+    def test_node_filter_restricts_scope(self, random_aig_factory):
+        aig = random_aig_factory(8, 150, seed=5)
+        assert rewrite(aig, node_filter=set()) == 0
+
+    def test_resub_zero_finds_constant_nodes(self):
+        aig = Aig()
+        a, b = aig.add_pis(2)
+        # f = (a&b) & (a&!b) == 0, built structurally
+        f = aig.add_and(aig.add_and(a, b), aig.add_and(a, lit_not(b)))
+        g = aig.add_or(f, b)
+        aig.add_po(g)
+        reference = aig.cleanup()
+        resub(aig, max_inserted=0)
+        assert_equivalent(reference, aig.cleanup())
+        assert aig.cleanup().num_ands <= 1
+
+
+class TestWindowFunction:
+    def test_matches_complete_simulation(self, random_aig_factory):
+        from repro.aig.simulate import simulate_complete
+        aig = random_aig_factory(5, 40, seed=6)
+        values = simulate_complete(aig)
+        for n in list(aig.ands())[:10]:
+            table = window_function(aig, n, aig.pis())
+            assert table.bits == values[n]
+
+
+class TestScripts:
+    def test_resyn2rs_improves_and_preserves(self, small_mult):
+        optimized = resyn2rs(small_mult, max_iterations=2)
+        assert optimized.num_ands <= small_mult.num_ands
+        assert_equivalent(small_mult, optimized)
+
+    def test_quick_optimize(self, random_aig_factory):
+        aig = random_aig_factory(8, 120, seed=7)
+        optimized = quick_optimize(aig)
+        assert optimized.num_ands <= aig.num_ands
+        assert_equivalent(aig, optimized)
+
+    def test_compress2rs_step(self, random_aig_factory):
+        aig = random_aig_factory(8, 120, seed=8)
+        out = compress2rs_step(aig.cleanup())
+        assert_equivalent(aig, out)

@@ -1,0 +1,123 @@
+"""Property-based tests (hypothesis) for the AIG and its optimizers."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig.aig import Aig, lit_node
+from repro.aig.simulate import po_tables
+from repro.opt.balance import balance
+from repro.opt.resub import resub
+from repro.opt.rewrite import rewrite
+
+
+def aig_strategy(max_pis=6, max_nodes=60):
+    return st.tuples(
+        st.integers(min_value=2, max_value=max_pis),
+        st.integers(min_value=5, max_value=max_nodes),
+        st.randoms(use_true_random=False),
+    )
+
+
+def build_random(num_pis, num_nodes, rng):
+    aig = Aig()
+    literals = aig.add_pis(num_pis)
+    for _ in range(num_nodes):
+        a = rng.choice(literals) ^ rng.getrandbits(1)
+        b = rng.choice(literals) ^ rng.getrandbits(1)
+        literals.append(aig.add_and(a, b))
+    for literal in literals[-4:]:
+        aig.add_po(literal)
+    return aig.cleanup()
+
+
+@given(aig_strategy())
+@settings(max_examples=25, deadline=None)
+def test_strash_never_duplicates(spec):
+    num_pis, num_nodes, rng = spec
+    aig = build_random(num_pis, num_nodes, rng)
+    seen = set()
+    for n in aig.ands():
+        key = aig.fanins(n)
+        assert key not in seen
+        seen.add(key)
+
+
+@given(aig_strategy())
+@settings(max_examples=25, deadline=None)
+def test_invariants_after_construction(spec):
+    num_pis, num_nodes, rng = spec
+    aig = build_random(num_pis, num_nodes, rng)
+    aig.check()
+
+
+@given(aig_strategy())
+@settings(max_examples=15, deadline=None)
+def test_balance_function_size_depth(spec):
+    num_pis, num_nodes, rng = spec
+    aig = build_random(num_pis, num_nodes, rng)
+    balanced = balance(aig)
+    assert po_tables(balanced) == po_tables(aig)
+    assert balanced.num_ands <= aig.num_ands
+    assert balanced.depth <= aig.depth
+
+
+@given(aig_strategy())
+@settings(max_examples=10, deadline=None)
+def test_rewrite_invariant(spec):
+    num_pis, num_nodes, rng = spec
+    aig = build_random(num_pis, num_nodes, rng)
+    before_tables = po_tables(aig)
+    before_size = aig.num_ands
+    rewrite(aig)
+    aig.check()
+    assert po_tables(aig) == before_tables
+    assert aig.cleanup().num_ands <= before_size
+
+
+@given(aig_strategy())
+@settings(max_examples=10, deadline=None)
+def test_resub_invariant(spec):
+    num_pis, num_nodes, rng = spec
+    aig = build_random(num_pis, num_nodes, rng)
+    before_tables = po_tables(aig)
+    before_size = aig.num_ands
+    resub(aig)
+    aig.check()
+    assert po_tables(aig) == before_tables
+    assert aig.cleanup().num_ands <= before_size
+
+
+@given(aig_strategy())
+@settings(max_examples=15, deadline=None)
+def test_aag_round_trip(spec):
+    from repro.aig.io_aiger import read_aag, write_aag_string
+    num_pis, num_nodes, rng = spec
+    aig = build_random(num_pis, num_nodes, rng)
+    back = read_aag(write_aag_string(aig))
+    assert po_tables(back) == po_tables(aig)
+
+
+@given(aig_strategy())
+@settings(max_examples=10, deadline=None)
+def test_random_equivalent_replace_preserves_function(spec):
+    """Replacing a node by a re-built copy of its own cone is a no-op
+    functionally, whatever the strash table does structurally."""
+    from repro.aig.aig import lit_is_compl, lit_notcond
+    num_pis, num_nodes, rng = spec
+    aig = build_random(num_pis, num_nodes, rng)
+    tables = po_tables(aig)
+    nodes = list(aig.ands())
+    for _ in range(3):
+        if not nodes:
+            break
+        target = rng.choice(nodes)
+        if aig.is_dead(target):
+            continue
+        f0, f1 = aig.fanins(target)
+        rebuilt = aig.add_and(f0, f1)  # strashes straight back
+        if lit_node(rebuilt) != target:
+            aig.replace(target, rebuilt)
+            aig.check()
+    assert po_tables(aig) == tables

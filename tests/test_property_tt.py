@@ -1,0 +1,109 @@
+"""Property-based tests (hypothesis) for truth tables, ISOP, and NPN."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tt.isop import cover_table, isop, isop_table
+from repro.tt.npn import apply_transform, invert_transform, npn_canonical, npn_semicanonical
+from repro.tt.truthtable import TruthTable, table_mask
+
+
+def tables(max_vars=5):
+    return st.integers(min_value=1, max_value=max_vars).flatmap(
+        lambda n: st.tuples(st.integers(min_value=0,
+                                        max_value=table_mask(n)),
+                            st.just(n)))
+
+
+@given(tables())
+def test_double_complement_is_identity(spec):
+    bits, n = spec
+    t = TruthTable(bits, n)
+    assert ~~t == t
+
+
+@given(tables())
+def test_shannon_expansion(spec):
+    """f = x·f_x + !x·f_!x for every variable."""
+    bits, n = spec
+    t = TruthTable(bits, n)
+    for v in range(n):
+        x = TruthTable.variable(v, n)
+        recon = (x & t.cofactor(v, True)) | (~x & t.cofactor(v, False))
+        assert recon == t
+
+
+@given(tables())
+def test_quantifier_ordering(spec):
+    """forall(f) ⊆ f ⊆ exists(f)."""
+    bits, n = spec
+    t = TruthTable(bits, n)
+    for v in range(n):
+        assert (t.forall(v).bits & ~t.bits) == 0
+        assert (t.bits & ~t.exists(v).bits) == 0
+
+
+@given(tables())
+def test_boolean_difference_symmetric_in_cofactors(spec):
+    bits, n = spec
+    t = TruthTable(bits, n)
+    for v in range(n):
+        diff = t.boolean_difference(v)
+        assert diff == (t.cofactor(v, True) ^ t.cofactor(v, False))
+        # f does not depend on v iff the difference is empty
+        assert diff.is_const0() == (not t.depends_on(v))
+
+
+@given(tables())
+def test_isop_covers_exactly(spec):
+    bits, n = spec
+    t = TruthTable(bits, n)
+    assert cover_table(isop_table(t), n) == t.bits
+
+
+@given(tables(max_vars=4), st.integers(min_value=0))
+def test_isop_interval_respected(spec, dc_seed):
+    bits, n = spec
+    dc = dc_seed % (table_mask(n) + 1)
+    lower = TruthTable(bits & ~dc, n)
+    upper = TruthTable(bits | dc, n)
+    cover = cover_table(isop(lower, upper), n)
+    assert lower.bits & ~cover == 0
+    assert cover & ~upper.bits & table_mask(n) == 0
+
+
+@given(tables(max_vars=4))
+def test_npn_canonical_round_trip(spec):
+    bits, n = spec
+    t = TruthTable(bits, n)
+    canon, transform = npn_canonical(t)
+    assert apply_transform(t, transform) == canon
+    inverse = invert_transform(transform, n)
+    assert apply_transform(canon, inverse) == t
+
+
+@given(tables(max_vars=5))
+def test_semicanonical_round_trip(spec):
+    bits, n = spec
+    t = TruthTable(bits, n)
+    semi, transform = npn_semicanonical(t)
+    assert apply_transform(t, transform) == semi
+    assert (semi.bits & 1) == 0
+
+
+@given(tables(max_vars=4))
+def test_swap_is_involution(spec):
+    bits, n = spec
+    t = TruthTable(bits, n)
+    if n >= 2:
+        assert t.swap_variables(0, n - 1).swap_variables(0, n - 1) == t
+
+
+@given(tables(max_vars=4))
+def test_shrink_expand_round_trip(spec):
+    bits, n = spec
+    t = TruthTable(bits, n)
+    small, support = t.shrink_to_support()
+    # re-expanding over the support positions reproduces t
+    if support == list(range(len(support))):
+        assert small.expand(n) == t or t.support() == support

@@ -1,0 +1,119 @@
+"""Tests for Tseitin encoding, miters, and equivalence checking."""
+
+import pytest
+
+from repro.aig.aig import Aig, lit_not
+from repro.sat.cnf import AigCnf, build_miter, prove_equivalent
+from repro.sat.equivalence import assert_equivalent, check_equivalence
+
+
+class TestAigCnf:
+    def test_prove_equal_structures(self):
+        aig = Aig()
+        a, b, c = aig.add_pis(3)
+        f = aig.add_and(aig.add_and(a, b), c)
+        g = aig.add_and(a, aig.add_and(b, c))
+        cnf = AigCnf(aig)
+        eq, cex = prove_equivalent(cnf, f, g)
+        assert eq and cex is None
+
+    def test_refute_with_counterexample(self):
+        aig = Aig()
+        a, b = aig.add_pis(2)
+        f = aig.add_and(a, b)
+        g = aig.add_or(a, b)
+        cnf = AigCnf(aig)
+        eq, cex = prove_equivalent(cnf, f, g)
+        assert not eq
+        # cex must distinguish AND from OR: exactly one input true
+        assert sum(cex) == 1
+
+    def test_complemented_literals(self):
+        aig = Aig()
+        a, b = aig.add_pis(2)
+        f = aig.add_and(a, b)
+        nand = lit_not(f)
+        cnf = AigCnf(aig)
+        eq, _ = prove_equivalent(cnf, nand, lit_not(f))
+        assert eq
+        eq, _ = prove_equivalent(cnf, nand, f)
+        assert not eq
+
+    def test_constants(self):
+        aig = Aig()
+        a = aig.add_pi()
+        cnf = AigCnf(aig)
+        eq, _ = prove_equivalent(cnf, aig.add_and(a, lit_not(a)), 0)
+        assert eq
+
+    def test_lazy_encoding(self):
+        aig = Aig()
+        a, b, c, d = aig.add_pis(4)
+        small = aig.add_and(a, b)
+        aig.add_and(aig.add_and(a, b), aig.add_and(c, d))
+        cnf = AigCnf(aig)
+        cnf.sat_literal(small)
+        # Only the 2-input cone is encoded: <= 3 vars + const
+        assert cnf.solver.num_vars <= 4
+
+
+class TestMiter:
+    def test_miter_unsat_for_equivalent(self, small_adder):
+        clone = small_adder.cleanup()
+        miter = build_miter(small_adder, clone)
+        cnf = AigCnf(miter)
+        out = cnf.sat_literal(miter.pos()[0])
+        assert not cnf.solver.solve((out,))
+
+    def test_miter_sat_for_different(self, small_adder):
+        other = Aig()
+        pis = other.add_pis(small_adder.num_pis)
+        for i in range(small_adder.num_pos):
+            other.add_po(pis[i % len(pis)])
+        miter = build_miter(small_adder, other)
+        cnf = AigCnf(miter)
+        out = cnf.sat_literal(miter.pos()[0])
+        assert cnf.solver.solve((out,))
+
+    def test_miter_interface_mismatch(self, small_adder):
+        other = Aig()
+        other.add_pi()
+        other.add_po(2)
+        with pytest.raises(ValueError):
+            build_miter(small_adder, other)
+
+
+class TestCheckEquivalence:
+    def test_exhaustive_path(self, small_mult):
+        assert check_equivalence(small_mult, small_mult.cleanup())[0]
+
+    def test_sat_path_large_inputs(self):
+        a1 = Aig()
+        xs = a1.add_pis(20)
+        a1.add_po(a1.add_and_multi(xs))
+        a2 = Aig()
+        xs = a2.add_pis(20)
+        acc = 1
+        for x in xs:
+            acc = a2.add_and(acc, x)
+        a2.add_po(acc)
+        ok, _ = check_equivalence(a1, a2)
+        assert ok
+
+    def test_counterexample_is_real(self, small_adder):
+        from repro.aig.simulate import po_words, simulate_words
+        broken = small_adder.cleanup()
+        # flip one PO's phase
+        broken.set_po(0, lit_not(broken.pos()[0]))
+        ok, cex = check_equivalence(small_adder, broken)
+        assert not ok and cex is not None
+        words_a = [(1 << 64) - 1 if v else 0 for v in cex]
+        out_a = po_words(small_adder, simulate_words(small_adder, words_a))
+        out_b = po_words(broken, simulate_words(broken, words_a))
+        assert any((x ^ y) & 1 for x, y in zip(out_a, out_b))
+
+    def test_assert_equivalent_raises(self, small_adder):
+        broken = small_adder.cleanup()
+        broken.set_po(0, lit_not(broken.pos()[0]))
+        with pytest.raises(AssertionError):
+            assert_equivalent(small_adder, broken)

@@ -1,0 +1,123 @@
+"""Tests for the CDCL SAT solver."""
+
+import random
+
+import pytest
+
+from repro.errors import SatError
+from repro.sat.solver import SatSolver, _luby
+
+
+def brute_force_sat(clauses, num_vars):
+    for bits in range(1 << num_vars):
+        if all(any(((bits >> (abs(l) - 1)) & 1) == (1 if l > 0 else 0)
+                   for l in clause) for clause in clauses):
+            return True
+    return False
+
+
+class TestBasics:
+    def test_empty_formula_sat(self):
+        assert SatSolver().solve()
+
+    def test_unit_propagation(self):
+        s = SatSolver()
+        s.add_clause([1])
+        s.add_clause([-1, 2])
+        s.add_clause([-2, 3])
+        assert s.solve()
+        assert s.model_value(1) and s.model_value(2) and s.model_value(3)
+
+    def test_trivial_unsat(self):
+        s = SatSolver()
+        s.add_clause([1])
+        assert not s.add_clause([-1]) or not s.solve()
+        assert not s.solve()
+
+    def test_tautology_ignored(self):
+        s = SatSolver()
+        assert s.add_clause([1, -1])
+        assert s.solve()
+
+    def test_duplicate_literals_collapsed(self):
+        s = SatSolver()
+        s.add_clause([1, 1, 1])
+        assert s.solve()
+        assert s.model_value(1)
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(SatError):
+            SatSolver().add_clause([0])
+
+    def test_pigeonhole_2_into_1_unsat(self):
+        # two pigeons, one hole
+        s = SatSolver()
+        s.add_clause([1])       # pigeon 1 in hole 1
+        s.add_clause([2])       # pigeon 2 in hole 1
+        s.add_clause([-1, -2])  # hole capacity
+        assert not s.solve()
+
+
+class TestAgainstBruteForce:
+    def test_random_3sat(self):
+        rng = random.Random(42)
+        for _ in range(250):
+            n = rng.randint(1, 8)
+            m = rng.randint(1, 32)
+            clauses = [[rng.choice([1, -1]) * rng.randint(1, n)
+                        for _ in range(rng.randint(1, 3))] for _ in range(m)]
+            solver = SatSolver()
+            ok = True
+            for clause in clauses:
+                ok = solver.add_clause(clause) and ok
+            got = solver.solve() if ok else False
+            assert got == brute_force_sat(clauses, n), clauses
+            if got:
+                model = solver.model()
+                for clause in clauses:
+                    assert any(model[abs(l)] == (l > 0) for l in clause)
+
+
+class TestAssumptions:
+    def test_assumption_forces_value(self):
+        s = SatSolver()
+        s.add_clause([-1, 2])
+        assert s.solve((1,))
+        assert s.model_value(2)
+
+    def test_conflicting_assumptions(self):
+        s = SatSolver()
+        s.add_clause([1, 2])
+        s.add_clause([-1, 3])
+        assert not s.solve((-2, -3))
+
+    def test_incremental_reuse(self):
+        s = SatSolver()
+        s.add_clause([1, 2, 3])
+        assert s.solve((-1, -2))
+        assert s.model_value(3)
+        assert s.solve((-1, -3))
+        assert s.model_value(2)
+        assert not s.solve((-1, -2, -3))
+        # plain solve still works afterwards
+        assert s.solve()
+
+    def test_assumption_of_fresh_variable(self):
+        s = SatSolver()
+        s.add_clause([1])
+        assert s.solve((5,))
+        assert s.model_value(5)
+
+
+class TestInternals:
+    def test_luby_sequence(self):
+        assert [_luby(i) for i in range(9)] == [1, 1, 2, 1, 1, 2, 4, 1, 1]
+
+    def test_statistics_grow(self):
+        s = SatSolver()
+        rng = random.Random(0)
+        for _ in range(60):
+            s.add_clause([rng.choice([1, -1]) * rng.randint(1, 12)
+                          for _ in range(3)])
+        s.solve()
+        assert s.num_propagations > 0

@@ -1,0 +1,89 @@
+"""Tests for SAT sweeping and redundancy removal."""
+
+from repro.aig.aig import Aig, lit_not
+from repro.aig.simulate import po_tables
+from repro.sat.redundancy import remove_redundancies
+from repro.sat.sweep import sat_sweep
+
+
+class TestSatSweep:
+    def test_merges_functional_duplicates(self):
+        aig = Aig()
+        a, b, c = aig.add_pis(3)
+        f1 = aig.add_or(aig.add_and(a, b), aig.add_and(a, c))
+        f2 = aig.add_and(a, aig.add_or(b, c))
+        aig.add_po(f1)
+        aig.add_po(f2)
+        before_tables = po_tables(aig)
+        before_size = aig.num_ands
+        merges = sat_sweep(aig)
+        aig.check()
+        assert merges >= 1
+        assert po_tables(aig) == before_tables
+        assert aig.cleanup().num_ands < before_size
+
+    def test_merges_antivalent_nodes(self):
+        aig = Aig()
+        a, b = aig.add_pis(2)
+        f = aig.add_and(a, b)
+        # !(a&b) built as a structurally distinct sum of minterms
+        g = aig.add_or_multi([
+            aig.add_and(lit_not(a), lit_not(b)),
+            aig.add_and(lit_not(a), b),
+            aig.add_and(a, lit_not(b)),
+        ])
+        aig.add_po(f)
+        aig.add_po(g)
+        assert aig.num_ands > 2  # genuinely different structure
+        tables = po_tables(aig)
+        merges = sat_sweep(aig)
+        assert merges >= 1
+        assert po_tables(aig) == tables
+        assert aig.cleanup().num_ands == 1
+
+    def test_max_proofs_cap(self, random_aig_factory):
+        aig = random_aig_factory(8, 150, seed=0)
+        tables = po_tables(aig)
+        sat_sweep(aig, max_proofs=3)
+        assert po_tables(aig) == tables
+
+    def test_preserves_function_on_random(self, random_aig_factory):
+        for seed in range(4):
+            aig = random_aig_factory(8, 120, seed=seed)
+            tables = po_tables(aig)
+            sat_sweep(aig)
+            aig.check()
+            assert po_tables(aig) == tables
+
+    def test_no_pis_is_noop(self):
+        aig = Aig()
+        aig.add_po(1)
+        assert sat_sweep(aig) == 0
+
+
+class TestRedundancyRemoval:
+    def test_removes_classic_redundancy(self):
+        # f = a & (a | b): the (a | b) edge is stuck-at-1 redundant
+        aig = Aig()
+        a, b = aig.add_pis(2)
+        aig.add_po(aig.add_and(a, aig.add_or(a, b)))
+        tables = po_tables(aig)
+        removed = remove_redundancies(aig)
+        assert removed >= 1
+        assert po_tables(aig) == tables
+        assert aig.num_ands == 0  # collapses to just `a`
+
+    def test_irredundant_network_untouched(self, small_adder):
+        tables = po_tables(small_adder)
+        size = small_adder.num_ands
+        removed = remove_redundancies(small_adder, max_checks=40)
+        assert po_tables(small_adder) == tables
+        # the adder is irredundant; nothing removable
+        assert removed == 0
+        assert small_adder.num_ands == size
+
+    def test_function_preserved_on_random(self, random_aig_factory):
+        aig = random_aig_factory(6, 60, seed=2)
+        tables = po_tables(aig)
+        remove_redundancies(aig, max_checks=30)
+        assert po_tables(aig) == tables

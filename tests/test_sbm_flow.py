@@ -1,0 +1,62 @@
+"""Tests for the integrated SBM Boolean resynthesis flow (Section V-A)."""
+
+import pytest
+
+from repro.sat.equivalence import assert_equivalent
+from repro.sbm.config import FlowConfig
+from repro.sbm.flow import FlowStats, sbm_flow
+
+
+def test_flow_preserves_function_and_reduces(small_mult):
+    optimized, stats = sbm_flow(small_mult, FlowConfig(iterations=1))
+    assert_equivalent(small_mult, optimized)
+    assert optimized.num_ands <= small_mult.num_ands
+
+
+def test_flow_on_random_logic(random_aig_factory):
+    aig = random_aig_factory(10, 200, seed=0)
+    optimized, stats = sbm_flow(aig, FlowConfig(iterations=1))
+    assert_equivalent(aig, optimized)
+    assert optimized.num_ands < aig.num_ands
+
+
+def test_input_not_modified(small_mult):
+    size = small_mult.num_ands
+    sbm_flow(small_mult, FlowConfig(iterations=1))
+    assert small_mult.num_ands == size
+
+
+def test_stage_checkpoints_recorded(random_aig_factory):
+    aig = random_aig_factory(8, 120, seed=1)
+    _optimized, stats = sbm_flow(aig, FlowConfig(iterations=1))
+    names = [name for name, _size in stats.stages]
+    assert names[0] == "initial"
+    assert names[-1] == "final"
+    assert any("gradient" in n for n in names)
+    assert any("mspf" in n for n in names)
+    assert any("boolean_diff" in n for n in names)
+    assert any("kernel" in n for n in names)
+    assert stats.runtime_s > 0
+
+
+def test_two_iterations_not_worse_than_one(random_aig_factory):
+    aig = random_aig_factory(10, 180, seed=2)
+    one, _s1 = sbm_flow(aig, FlowConfig(iterations=1))
+    two, _s2 = sbm_flow(aig, FlowConfig(iterations=2))
+    assert two.num_ands <= one.num_ands
+    assert_equivalent(aig, two)
+
+
+def test_verify_each_step_mode(random_aig_factory):
+    aig = random_aig_factory(8, 100, seed=3)
+    optimized, _stats = sbm_flow(aig, FlowConfig(iterations=1,
+                                                 verify_each_step=True))
+    assert_equivalent(aig, optimized)
+
+
+def test_redundancy_removal_stage(random_aig_factory):
+    aig = random_aig_factory(8, 80, seed=4)
+    config = FlowConfig(iterations=1, enable_redundancy_removal=True)
+    optimized, stats = sbm_flow(aig, config)
+    assert_equivalent(aig, optimized)
+    assert any("redundancy" in name for name, _ in stats.stages)

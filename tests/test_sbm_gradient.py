@@ -1,0 +1,96 @@
+"""Tests for the gradient-based AIG engine (Section IV-A)."""
+
+from repro.sat.equivalence import assert_equivalent, check_equivalence
+from repro.sbm.config import GradientConfig
+from repro.sbm.gradient import GradientStats, gradient_optimize
+from repro.sbm.moves import DEFAULT_MOVES, Move
+
+
+def test_default_moves_match_paper():
+    """The paper's move list: rewriting, refactoring, resub, mspf resub,
+    eliminate/simplify & kerneling; all but rewriting in two efforts."""
+    names = {m.name for m in DEFAULT_MOVES}
+    assert "rewrite" in names
+    for base in ("resub", "refactor", "kernel", "mspf"):
+        assert f"{base}_lo" in names
+        assert f"{base}_hi" in names
+    # rewriting is the unit-cost move
+    assert min(m.cost for m in DEFAULT_MOVES) == \
+        next(m.cost for m in DEFAULT_MOVES if m.name == "rewrite")
+
+
+def test_function_preserved(random_aig_factory):
+    for seed in range(4):
+        aig = random_aig_factory(10, 200, seed=seed)
+        reference = aig.cleanup()
+        gradient_optimize(aig, GradientConfig(cost_budget=30))
+        aig.check()
+        ok, _ = check_equivalence(reference, aig.cleanup())
+        assert ok, seed
+
+
+def test_optimizes(random_aig_factory):
+    aig = random_aig_factory(10, 250, seed=42)
+    before = aig.cleanup().num_ands
+    stats = gradient_optimize(aig, GradientConfig(cost_budget=40))
+    assert aig.cleanup().num_ands < before
+    assert stats.total_gain > 0
+
+
+def test_budget_respected(random_aig_factory):
+    aig = random_aig_factory(10, 250, seed=1)
+    stats = gradient_optimize(aig, GradientConfig(cost_budget=10))
+    # budget may be slightly exceeded by the last move, or extended
+    limit = 10 + stats.budget_extensions * GradientConfig().budget_extension
+    assert stats.cost_spent <= limit + max(m.cost for m in DEFAULT_MOVES)
+
+
+def test_waterfall_starts_with_unit_cost_moves(random_aig_factory):
+    aig = random_aig_factory(10, 200, seed=2)
+    stats = gradient_optimize(aig, GradientConfig(cost_budget=5))
+    # with a tiny budget only cheap moves are tried
+    tried = set(stats.move_attempts)
+    assert tried <= {"rewrite"} or "rewrite" in tried
+
+
+def test_success_history_recorded(random_aig_factory):
+    aig = random_aig_factory(10, 250, seed=3)
+    stats = gradient_optimize(aig, GradientConfig(cost_budget=60))
+    assert stats.moves_tried >= stats.moves_succeeded
+    for name, wins in stats.move_success.items():
+        assert wins <= stats.move_attempts[name]
+    assert 0.0 <= stats.success_rate("rewrite") <= 1.0
+
+
+def test_early_termination_on_zero_gradient():
+    """A network at its local minimum terminates early (gain gradient 0)."""
+    from repro.aig.aig import Aig
+    aig = Aig()
+    a, b = aig.add_pis(2)
+    aig.add_po(aig.add_and(a, b))
+    stats = gradient_optimize(aig, GradientConfig(cost_budget=1000,
+                                                  window_k=2))
+    assert stats.cost_spent < 1000
+
+
+def test_parallel_selection_mode(random_aig_factory):
+    aig = random_aig_factory(8, 120, seed=4)
+    reference = aig.cleanup()
+    moves = [m for m in DEFAULT_MOVES if m.name in ("rewrite", "resub_lo")]
+    gradient_optimize(aig, GradientConfig(cost_budget=12), moves=moves,
+                      selection="parallel")
+    aig.check()
+    assert_equivalent(reference, aig.cleanup())
+
+
+def test_custom_move_injection(random_aig_factory):
+    calls = []
+
+    def noop(aig, window):
+        calls.append(len(window.nodes))
+        return 0
+
+    aig = random_aig_factory(8, 100, seed=5)
+    gradient_optimize(aig, GradientConfig(cost_budget=6),
+                      moves=[Move("noop", 1, noop)])
+    assert calls  # the engine exercised the injected move

@@ -1,0 +1,155 @@
+"""Tests for cubes, SOP covers, and algebraic division."""
+
+import random
+
+import pytest
+
+from repro.sop.cube import (
+    TAUTOLOGY_CUBE,
+    cube_and,
+    cube_common,
+    cube_contains,
+    cube_divide,
+    cube_num_literals,
+    cube_rename,
+)
+from repro.sop.division import divide, divide_by_cube, is_algebraic_divisor
+from repro.sop.sop import Sop
+
+
+def random_sop(rng, nvars, ncubes):
+    sop = Sop()
+    for _ in range(ncubes):
+        pos = neg = 0
+        for v in range(nvars):
+            r = rng.random()
+            if r < 0.3:
+                pos |= 1 << v
+            elif r < 0.6:
+                neg |= 1 << v
+        sop.add_cube((pos, neg))
+    return sop
+
+
+class TestCubes:
+    def test_num_literals(self):
+        assert cube_num_literals((0b101, 0b010)) == 3
+        assert cube_num_literals(TAUTOLOGY_CUBE) == 0
+
+    def test_cube_and_contradiction(self):
+        assert cube_and((0b1, 0), (0, 0b1)) is None
+        assert cube_and((0b1, 0), (0b10, 0)) == (0b11, 0)
+
+    def test_containment(self):
+        # a contains a&b (fewer literals = larger cube)
+        assert cube_contains((0b1, 0), (0b11, 0))
+        assert not cube_contains((0b11, 0), (0b1, 0))
+
+    def test_cube_divide(self):
+        assert cube_divide((0b11, 0), (0b01, 0)) == (0b10, 0)
+        assert cube_divide((0b01, 0), (0b10, 0)) is None
+
+    def test_cube_common(self):
+        assert cube_common([(0b11, 0b100), (0b01, 0b100)]) == (0b01, 0b100)
+        assert cube_common([]) == TAUTOLOGY_CUBE
+
+    def test_cube_rename(self):
+        assert cube_rename((0b01, 0b10), {0: 5, 1: 7}) == (1 << 5, 1 << 7)
+
+
+class TestSop:
+    def test_single_cube_containment_normal_form(self):
+        sop = Sop()
+        sop.add_cube((0b11, 0))  # a&b
+        sop.add_cube((0b01, 0))  # a  (absorbs a&b)
+        assert sop.cubes == [(0b01, 0)]
+        sop.add_cube((0b11, 0))  # re-adding the contained cube is a no-op
+        assert sop.cubes == [(0b01, 0)]
+
+    def test_contradictory_cube_dropped(self):
+        sop = Sop()
+        sop.add_cube((0b1, 0b1))
+        assert sop.is_const0()
+
+    def test_constants(self):
+        assert Sop.constant(False).is_const0()
+        assert Sop.constant(True).is_const1()
+        assert Sop.literal(2).cubes == [(0b100, 0)]
+        assert Sop.literal(2, positive=False).cubes == [(0, 0b100)]
+
+    def test_operators_match_semantics(self):
+        rng = random.Random(0)
+        for _ in range(60):
+            n = rng.randint(1, 5)
+            f = random_sop(rng, n, rng.randint(0, 5))
+            g = random_sop(rng, n, rng.randint(0, 5))
+            assert (f | g).to_truth_bits(n) == (f.to_truth_bits(n) | g.to_truth_bits(n))
+            assert (f & g).to_truth_bits(n) == (f.to_truth_bits(n) & g.to_truth_bits(n))
+
+    def test_complement(self):
+        rng = random.Random(1)
+        for _ in range(60):
+            n = rng.randint(1, 5)
+            f = random_sop(rng, n, rng.randint(0, 6))
+            comp = f.complement()
+            assert comp is not None
+            full = (1 << (1 << n)) - 1
+            assert comp.to_truth_bits(n) == f.to_truth_bits(n) ^ full
+
+    def test_complement_cap(self):
+        rng = random.Random(2)
+        f = random_sop(rng, 8, 12)
+        assert f.complement(max_cubes=1) is None or \
+            len(f.complement(max_cubes=1).cubes) <= 1
+
+    def test_literal_occurrences(self):
+        sop = Sop([(0b11, 0), (0b01, 0b10)])  # a·b + a·!b (no absorption)
+        occ = sop.literal_occurrences()
+        assert occ[(0, True)] == 2
+        assert occ[(1, True)] == 1
+        assert occ[(1, False)] == 1
+
+    def test_pretty(self):
+        sop = Sop([(0b01, 0b10)])
+        assert sop.pretty(["a", "b"]) == "a·!b"
+        assert Sop.constant(True).pretty() == "1"
+
+
+class TestDivision:
+    def test_textbook_example(self):
+        # F = ac + ad + bc + bd + e ; D = a + b  =>  Q = c + d, R = e
+        a, b, c, d, e = (1 << i for i in range(5))
+        f = Sop([(a | c, 0), (a | d, 0), (b | c, 0), (b | d, 0), (e, 0)])
+        div = Sop([(a, 0), (b, 0)])
+        q, r = divide(f, div)
+        assert sorted(q.cubes) == [(c, 0), (d, 0)]
+        assert r.cubes == [(e, 0)]
+
+    def test_division_identity_random(self):
+        rng = random.Random(3)
+        for _ in range(80):
+            n = rng.randint(2, 6)
+            f = random_sop(rng, n, rng.randint(1, 8))
+            d = random_sop(rng, n, rng.randint(1, 3))
+            q, r = divide(f, d)
+            recon = (q & d) | r
+            assert recon.to_truth_bits(n) == f.to_truth_bits(n)
+
+    def test_divide_by_cube(self):
+        a, b, c = (1 << i for i in range(3))
+        f = Sop([(a | b, 0), (a | c, 0), (b | c, 0)])
+        q, r = divide_by_cube(f, (a, 0))
+        assert sorted(q.cubes) == [(b, 0), (c, 0)]
+        assert r.cubes == [(b | c, 0)]
+
+    def test_empty_divisor(self):
+        f = Sop([(1, 0)])
+        q, r = divide(f, Sop())
+        assert q.is_const0()
+        assert r.cubes == f.cubes
+
+    def test_is_algebraic_divisor(self):
+        a, b, c = (1 << i for i in range(3))
+        f = Sop([(a | c, 0), (b | c, 0)])
+        assert is_algebraic_divisor(f, Sop([(a, 0), (b, 0)]))
+        assert not is_algebraic_divisor(f, Sop([(a | b, 0)]))

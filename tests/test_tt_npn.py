@@ -1,0 +1,97 @@
+"""Tests for NPN canonicalization."""
+
+import random
+
+from repro.tt.npn import (
+    apply_transform,
+    invert_transform,
+    npn_canonical,
+    npn_classes_upto,
+    npn_semicanonical,
+)
+from repro.tt.truthtable import TruthTable
+
+
+def random_transform(rng, n):
+    perm = list(range(n))
+    rng.shuffle(perm)
+    return (bool(rng.getrandbits(1)), rng.getrandbits(n), tuple(perm))
+
+
+def test_canonical_invariant_under_transforms():
+    rng = random.Random(7)
+    for _ in range(120):
+        n = rng.randint(1, 4)
+        t = TruthTable(rng.getrandbits(1 << n), n)
+        canon, _tr = npn_canonical(t)
+        t2 = apply_transform(t, random_transform(rng, n))
+        canon2, _tr2 = npn_canonical(t2)
+        assert canon == canon2
+
+
+def test_canonical_transform_is_correct():
+    rng = random.Random(8)
+    for _ in range(80):
+        n = rng.randint(1, 4)
+        t = TruthTable(rng.getrandbits(1 << n), n)
+        canon, tr = npn_canonical(t)
+        assert apply_transform(t, tr) == canon
+
+
+def test_invert_transform_round_trips():
+    rng = random.Random(9)
+    for _ in range(80):
+        n = rng.randint(1, 4)
+        t = TruthTable(rng.getrandbits(1 << n), n)
+        tr = random_transform(rng, n)
+        inv = invert_transform(tr, n)
+        assert apply_transform(apply_transform(t, tr), inv) == t
+
+
+def test_canonical_is_minimal_encoding():
+    rng = random.Random(10)
+    for _ in range(20):
+        n = rng.randint(1, 3)
+        t = TruthTable(rng.getrandbits(1 << n), n)
+        canon, _ = npn_canonical(t)
+        # canonical must be <= any transform of t
+        for _ in range(20):
+            variant = apply_transform(t, random_transform(rng, n))
+            assert canon.bits <= variant.bits
+
+
+def test_semicanonical_transform_is_correct():
+    rng = random.Random(11)
+    for _ in range(80):
+        n = rng.randint(1, 6)
+        t = TruthTable(rng.getrandbits(1 << n), n)
+        semi, tr = npn_semicanonical(t)
+        assert apply_transform(t, tr) == semi
+
+
+def test_semicanonical_output_phase_normalized():
+    rng = random.Random(12)
+    for _ in range(40):
+        n = rng.randint(1, 5)
+        t = TruthTable(rng.getrandbits(1 << n), n)
+        semi, _ = npn_semicanonical(t)
+        assert (semi.bits & 1) == 0
+
+
+def test_npn_class_counts():
+    # Known NPN class counts: n=1 -> 2 classes, n=2 -> 4 classes
+    assert len(npn_classes_upto(1)) == 2
+    assert len(npn_classes_upto(2)) == 4
+
+
+def test_known_npn_equivalences():
+    # AND-family: all eight 2-input AND/OR gates with input/output phases
+    # form one class
+    a = TruthTable.variable(0, 2)
+    b = TruthTable.variable(1, 2)
+    family = [a & b, a & ~b, ~a & b, ~a & ~b, a | b, ~(a & b), ~(a | b), ~a | b]
+    canons = {npn_canonical(f)[0].bits for f in family}
+    assert len(canons) == 1
+    # XOR and XNOR form their own class
+    assert npn_canonical(a ^ b)[0] == npn_canonical(~(a ^ b))[0]
+    assert npn_canonical(a ^ b)[0] != npn_canonical(a & b)[0]
