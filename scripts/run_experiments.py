@@ -6,7 +6,10 @@ can be assembled from real measurements.  Each artifact is skipped when its
 file already exists (delete ``results/`` to rerun from scratch), and tables
 are written batch-by-batch so partial runs still produce usable rows.
 
-Usage:  python scripts/run_experiments.py [--fast]
+Usage:  python scripts/run_experiments.py [--fast] [--jobs N]
+
+``--jobs N`` (or ``-j N``) fans the partition-based engines out over N
+worker processes (0 = all cores); results are identical to the serial run.
 """
 
 from __future__ import annotations
@@ -32,11 +35,30 @@ def done(name: str) -> bool:
     return os.path.exists(os.path.join(RESULTS, name))
 
 
+def parse_jobs(argv) -> int:
+    """Read ``--jobs N`` / ``-j N`` / ``--jobs=N`` from *argv* (default 1)."""
+    jobs = 1
+    for i, arg in enumerate(argv):
+        value = None
+        if arg in ("--jobs", "-j") and i + 1 < len(argv):
+            value = argv[i + 1]
+        elif arg.startswith("--jobs="):
+            value = arg.split("=", 1)[1]
+        if value is not None:
+            try:
+                jobs = int(value)
+            except ValueError:
+                raise SystemExit(
+                    f"--jobs expects an integer, got {value!r}") from None
+    return jobs
+
+
 def main() -> None:
     fast = "--fast" in sys.argv
+    jobs = parse_jobs(sys.argv)
     from repro.sbm.config import FlowConfig
 
-    flow = FlowConfig(iterations=1)
+    flow = FlowConfig(iterations=1, jobs=jobs)
     t0 = time.time()
 
     if not done("fig1.txt"):

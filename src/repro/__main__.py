@@ -11,32 +11,74 @@ Commands
 ``ablation``             parameter ablations (Sections III-C, IV-A, IV-B)
 ``optimize <file.aag>``  run the SBM flow on an ASCII AIGER file
 ``bench <name>``         print a benchmark's statistics
+
+Options
+-------
+``--jobs N`` / ``-j N``  worker processes for the partition-based engines
+                         (default 1 = serial; 0 = all cores).  Results are
+                         identical for every value — see ``repro.parallel``.
 """
 
 from __future__ import annotations
 
 import sys
+from typing import List, Tuple
+
+
+def _parse_jobs_value(flag: str, value: str) -> int:
+    try:
+        return int(value)
+    except ValueError:
+        raise SystemExit(f"{flag} expects an integer, got {value!r}") from None
+
+
+def _extract_jobs(args: List[str]) -> Tuple[List[str], int]:
+    """Strip ``-j/--jobs N`` (or ``--jobs=N``) from *args*; default 1."""
+    jobs = 1
+    out: List[str] = []
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg in ("-j", "--jobs"):
+            if i + 1 >= len(args):
+                raise SystemExit(f"{arg} requires a value")
+            jobs = _parse_jobs_value(arg, args[i + 1])
+            i += 2
+            continue
+        if arg.startswith("--jobs="):
+            jobs = _parse_jobs_value("--jobs", arg.split("=", 1)[1])
+            i += 1
+            continue
+        out.append(arg)
+        i += 1
+    return out, jobs
 
 
 def main(argv=None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
+    args, jobs = _extract_jobs(args)
     if not args:
         print(__doc__)
         return 1
     command, rest = args[0], args[1:]
+    from repro.sbm.config import FlowConfig
+    flow_config = FlowConfig(iterations=1, jobs=jobs)
     if command == "fig1":
         from repro.experiments.fig1 import format_result, run_fig1
         print(format_result(run_fig1()))
     elif command == "table1":
         from repro.experiments.table1 import format_results, run_table1
-        print(format_results(run_table1(benchmarks=rest or None)))
+        print(format_results(run_table1(benchmarks=rest or None,
+                                        flow_config=flow_config)))
     elif command == "table2":
         from repro.experiments.table2 import format_results, run_table2
-        print(format_results(run_table2(benchmarks=rest or None)))
+        print(format_results(run_table2(benchmarks=rest or None,
+                                        flow_config=flow_config)))
     elif command == "table3":
         from repro.experiments.table3 import format_summary, run_table3
         count = int(rest[0]) if rest else 6
-        print(format_summary(run_table3(num_designs=count)))
+        print(format_summary(run_table3(num_designs=count,
+                                        sbm_config=flow_config)))
     elif command == "runtime":
         from repro.experiments.runtime import format_results, run_monolithic
         print(format_results(run_monolithic()))
@@ -46,11 +88,10 @@ def main(argv=None) -> int:
     elif command == "optimize":
         from repro.aig.io_aiger import read_aag, write_aag
         from repro.sat.equivalence import check_equivalence
-        from repro.sbm.config import FlowConfig
         from repro.sbm.flow import sbm_flow
         aig = read_aag(rest[0])
         print(f"input : {aig.stats()}")
-        optimized, stats = sbm_flow(aig, FlowConfig(iterations=1))
+        optimized, stats = sbm_flow(aig, flow_config)
         ok, _ = check_equivalence(aig, optimized)
         print(f"output: {optimized.stats()}  verified={ok}  "
               f"({stats.runtime_s:.1f}s)")

@@ -1,0 +1,312 @@
+"""Process-parallel partition execution engine.
+
+The paper's scalability argument (Section III-B) bounds every Boolean
+method inside partitions that are mutually independent — which makes each
+partition a schedulable task.  The :class:`PartitionScheduler` turns a
+partitioned pass into a three-phase pipeline:
+
+1. **Extract** — every window is snapshot into a picklable
+   :class:`~repro.parallel.window_io.WindowTask` *before any edit*, so all
+   tasks are pure functions of the same network state.
+2. **Execute** — tasks run through a registered engine worker, either
+   inline (``jobs=1``, the exact serial path: same code, same order, no
+   process machinery) or fanned out over a ``ProcessPoolExecutor``.
+3. **Merge** — results are spliced back strictly in partition order with a
+   structural-hash dedup (:func:`~repro.partition.partitioner.splice_window`).
+   Because workers are deterministic pure functions and the merge order is
+   fixed, the final network is byte-identical regardless of ``jobs`` or of
+   worker completion order.
+
+Fault isolation: a worker that raises returns a fallback result from inside
+the worker; a worker that *dies* (segfault, OOM kill) breaks the pool, in
+which case the window being waited on falls back and the remaining tasks are
+retried in a fresh pool (bounded by ``max_pool_restarts``).  A window that
+exceeds ``window_timeout_s`` falls back as well.  A fallback window simply
+keeps its original logic — the network is never left in a corrupt state.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.aig.aig import Aig
+from repro.parallel.stats import ParallelReport, WindowRecord
+from repro.parallel.window_io import (
+    CompactAig,
+    WindowResult,
+    WindowTask,
+    extract_task,
+)
+from repro.partition.partitioner import (
+    PartitionConfig,
+    Window,
+    partition_network,
+    refresh_window,
+    splice_window,
+)
+
+#: Engine registry: name -> ``fn(sub_aig, config) -> (changed, optimized
+#: sub_aig or None, payload counters)``.  Workers resolve engines by *name*,
+#: so only the name, the task, and the config cross the process boundary.
+ENGINES: Dict[str, Callable[[Aig, Any], Tuple[bool, Optional[Aig], Dict[str, Any]]]] = {}
+
+
+def register_engine(name: str, fn: Callable) -> Callable:
+    """Register a window-optimization engine under *name* (idempotent)."""
+    ENGINES[name] = fn
+    return fn
+
+
+def _resolve_engine(name: str) -> Callable:
+    """Look up an engine, importing the built-in SBM engines on demand."""
+    if name not in ENGINES:
+        # Lazy import avoids a cycle (the sbm modules import this module to
+        # register themselves) and makes resolution work under any
+        # multiprocessing start method.
+        from repro.sbm import boolean_difference  # noqa: F401
+        from repro.sbm import hetero_kernel  # noqa: F401
+        from repro.sbm import mspf  # noqa: F401
+    return ENGINES[name]
+
+
+def _fallback_result(task: WindowTask, reason: str,
+                     wall_s: float = 0.0) -> WindowResult:
+    return WindowResult(index=task.index, changed=False, optimized=None,
+                        wall_s=wall_s, fallback=reason)
+
+
+def run_window_task(engine_name: str, task: WindowTask,
+                    config: Any) -> WindowResult:
+    """Worker entry point: decode, optimize, re-encode one window.
+
+    Runs in a worker process (or inline when ``jobs=1``).  Any exception is
+    converted into a fallback result so a failing window can never poison
+    the merge phase.
+    """
+    start = time.perf_counter()
+    try:
+        engine = _resolve_engine(engine_name)
+        sub = task.compact.to_aig()
+        changed, optimized, payload = engine(sub, config)
+        compact = None
+        if changed and optimized is not None:
+            compact = CompactAig.from_aig(optimized)
+        return WindowResult(index=task.index,
+                            changed=compact is not None,
+                            optimized=compact, payload=payload,
+                            wall_s=time.perf_counter() - start)
+    except Exception as exc:  # fault isolation: report, don't propagate
+        return _fallback_result(
+            task, f"worker-error:{type(exc).__name__}: {exc}",
+            wall_s=time.perf_counter() - start)
+
+
+class PartitionScheduler:
+    """Fan partition windows out over worker processes; merge deterministically.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count.  ``1`` executes every task inline in partition
+        order (the exact serial path); ``None`` or ``0`` means
+        ``os.cpu_count()``.
+    window_timeout_s:
+        Per-window wall-clock budget when ``jobs > 1``; an overrunning
+        window falls back to its original logic.  ``None`` disables the
+        timeout (the default — timeouts trade determinism for latency,
+        since a machine-dependent timeout can drop a window).
+    max_pool_restarts:
+        How many times a hard-crashed process pool is rebuilt before the
+        remaining windows are abandoned to their fallbacks.
+    """
+
+    def __init__(self, jobs: Optional[int] = 1,
+                 window_timeout_s: Optional[float] = None,
+                 max_pool_restarts: int = 2) -> None:
+        self.jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 1)
+        self.window_timeout_s = window_timeout_s
+        self.max_pool_restarts = max_pool_restarts
+
+    # -- public API ----------------------------------------------------------
+
+    def run_pass(self, aig: Aig, engine: str, config: Any,
+                 partition_config: Optional[PartitionConfig] = None,
+                 windows: Optional[List[Window]] = None) -> ParallelReport:
+        """Partition *aig*, optimize every window, splice results back.
+
+        Edits *aig* in place and returns the pass telemetry.
+        """
+        start = time.perf_counter()
+        if windows is None:
+            windows = partition_network(aig, partition_config)
+        # Normalize every window against the (still unedited) network before
+        # snapshotting: refresh re-sorts the member nodes into topological
+        # order and recomputes the boundary, exactly as the serial engines
+        # did per window.  The node order matters beyond hygiene — the SOP
+        # engines' elimination cost is very sensitive to it.
+        windows = [w for w in (refresh_window(aig, w) for w in windows)
+                   if w is not None]
+        tasks = [extract_task(aig, w, i) for i, w in enumerate(windows)]
+        results, restarts = self._execute(engine, tasks, config)
+        report = ParallelReport(engine=engine, jobs=self.jobs,
+                                pool_restarts=restarts)
+        for window, task in zip(windows, tasks):
+            result = results.get(task.index)
+            if result is None:
+                result = _fallback_result(task, "missing-result")
+            report.records.append(
+                self._merge_window(aig, engine, window, task, result))
+        report.elapsed_s = time.perf_counter() - start
+        return report
+
+    # -- execution -----------------------------------------------------------
+
+    def _execute(self, engine: str, tasks: List[WindowTask], config: Any
+                 ) -> Tuple[Dict[int, WindowResult], int]:
+        if self.jobs <= 1 or len(tasks) <= 1:
+            return ({t.index: run_window_task(engine, t, config)
+                     for t in tasks}, 0)
+        return self._execute_pool(engine, tasks, config)
+
+    def _execute_pool(self, engine: str, tasks: List[WindowTask], config: Any
+                      ) -> Tuple[Dict[int, WindowResult], int]:
+        results: Dict[int, WindowResult] = {}
+        pending = list(tasks)
+        restarts = 0
+        while pending:
+            pending = self._pool_round(engine, pending, config, results)
+            if pending:
+                restarts += 1
+                if restarts > self.max_pool_restarts:
+                    for task in pending:
+                        results[task.index] = _fallback_result(
+                            task, "pool-restart-limit")
+                    break
+        return results, restarts
+
+    def _pool_round(self, engine: str, tasks: List[WindowTask], config: Any,
+                    results: Dict[int, WindowResult]) -> List[WindowTask]:
+        """Run one process pool; return the tasks that must be retried.
+
+        A worker *exception* is handled inside :func:`run_window_task` and
+        arrives as an ordinary fallback result.  This method only deals with
+        the hard failures: per-window timeouts and pool-breaking crashes.
+        """
+        retry: List[WindowTask] = []
+        tainted = False  # a timed-out worker still occupies its slot
+        broken = False
+        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(tasks)),
+                                   mp_context=self._mp_context())
+        try:
+            futures = [(task, pool.submit(run_window_task, engine, task,
+                                          config))
+                       for task in tasks]
+            for task, future in futures:
+                if broken:
+                    # The pool died while this future was pending; anything
+                    # already finished is kept, the rest is retried.
+                    if future.done() and not future.cancelled():
+                        try:
+                            results[task.index] = future.result()
+                            continue
+                        except Exception:
+                            pass
+                    retry.append(task)
+                    continue
+                try:
+                    results[task.index] = future.result(
+                        timeout=self.window_timeout_s)
+                except FutureTimeoutError:
+                    results[task.index] = _fallback_result(
+                        task, "timeout", wall_s=self.window_timeout_s or 0.0)
+                    future.cancel()
+                    tainted = True
+                except BrokenProcessPool:
+                    # Cannot tell which worker died: this window falls back,
+                    # every unfinished one is retried in a fresh pool.
+                    results[task.index] = _fallback_result(
+                        task, "worker-crashed")
+                    broken = True
+                except Exception as exc:
+                    results[task.index] = _fallback_result(
+                        task, f"pool-error:{type(exc).__name__}")
+        except BrokenProcessPool:
+            # The pool broke during submission; retry everything unassigned.
+            for task in tasks:
+                if task.index not in results and task not in retry:
+                    retry.append(task)
+        finally:
+            pool.shutdown(wait=not (tainted or broken), cancel_futures=True)
+        return retry
+
+    @staticmethod
+    def _mp_context():
+        """Prefer ``fork``: cheap worker startup, no re-import per task."""
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # platform without fork
+            return multiprocessing.get_context()
+
+    # -- merge ---------------------------------------------------------------
+
+    def _merge_window(self, aig: Aig, engine: str, window: Window,
+                      task: WindowTask, result: WindowResult) -> WindowRecord:
+        """Splice one window's result back; fall back on any inconsistency.
+
+        The guards mirror the serial engines' contracts: a window is only
+        replaced when its boundary is still alive, the optimized sub-network
+        is no larger than the window's current logic, and the actual splice
+        delta did not grow the network (structural-hash interactions with
+        earlier splices can differ from the worker's local measurement).
+        """
+        record = WindowRecord(index=task.index, engine=engine,
+                              size=task.size, leaves=len(window.leaves),
+                              wall_s=result.wall_s, payload=result.payload,
+                              fallback=result.fallback)
+        if result.fallback is not None or not result.changed:
+            return record
+        if result.optimized is None:
+            return record
+        if any(aig.is_dead(leaf) for leaf in window.leaves):
+            # An earlier splice replaced one of our boundary nodes; the
+            # precomputed result no longer has a valid support to attach to.
+            record.fallback = "boundary-changed"
+            return record
+        live = refresh_window(aig, window)
+        if live is None:
+            record.fallback = "window-died"
+            return record
+        optimized = result.optimized.to_aig()
+        if optimized.num_ands > live.size:
+            record.fallback = "stale-no-improvement"
+            return record
+        before = aig.num_ands
+        delta = splice_window(aig, window, optimized)
+        if delta > 0:
+            # Structural hashing interacted badly with surrounding logic;
+            # restore the original window structure (function is unchanged
+            # either way, exactly as the serial kernel engine does).
+            splice_window(aig, window, task.compact.to_aig())
+            record.fallback = "grew-reverted"
+            record.gain = before - aig.num_ands
+            return record
+        record.applied = True
+        record.gain = -delta
+        return record
+
+
+def run_partitioned_pass(aig: Aig, engine: str, config: Any,
+                         partition_config: Optional[PartitionConfig] = None,
+                         jobs: Optional[int] = 1,
+                         window_timeout_s: Optional[float] = None
+                         ) -> ParallelReport:
+    """Convenience wrapper: one scheduler, one pass, one report."""
+    scheduler = PartitionScheduler(jobs=jobs,
+                                   window_timeout_s=window_timeout_s)
+    return scheduler.run_pass(aig, engine, config, partition_config)

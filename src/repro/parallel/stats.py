@@ -1,0 +1,114 @@
+"""Per-window telemetry for the parallel partition scheduler.
+
+Every scheduled window produces one :class:`WindowRecord` — wall time,
+achieved gain, whether the result was applied, and the fallback reason when
+it was not.  Records aggregate into a :class:`ParallelReport` that the flow
+can print after a pass: windows executed, improvement rate, fallback
+breakdown, and the serial-equivalent runtime (the sum of worker wall times)
+against the elapsed wall clock, whose ratio estimates the realized speedup.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class WindowRecord:
+    """Telemetry of one scheduled window."""
+
+    index: int
+    engine: str
+    size: int               #: internal nodes at extraction time
+    leaves: int             #: boundary inputs
+    wall_s: float = 0.0     #: worker wall time for this window
+    applied: bool = False   #: optimized result spliced into the network
+    gain: int = 0           #: parent-level node saving when applied
+    fallback: Optional[str] = None
+    #: engine counters reported by the worker (rewrites, bailouts, ...)
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ParallelReport:
+    """Aggregated outcome of one parallel (or serial) partitioned pass."""
+
+    engine: str
+    jobs: int
+    records: List[WindowRecord] = field(default_factory=list)
+    elapsed_s: float = 0.0      #: wall clock of the whole pass
+    pool_restarts: int = 0      #: process pools rebuilt after hard crashes
+
+    @property
+    def num_windows(self) -> int:
+        """Number of partitions scheduled."""
+        return len(self.records)
+
+    @property
+    def num_applied(self) -> int:
+        """Windows whose optimized result was spliced back."""
+        return sum(1 for r in self.records if r.applied)
+
+    @property
+    def num_fallbacks(self) -> int:
+        """Windows that kept their original logic due to a failure."""
+        return sum(1 for r in self.records if r.fallback is not None)
+
+    @property
+    def fallback_reasons(self) -> Dict[str, int]:
+        """Histogram of fallback reasons."""
+        return dict(Counter(r.fallback for r in self.records
+                            if r.fallback is not None))
+
+    @property
+    def total_gain(self) -> int:
+        """Total parent-level node saving across applied windows."""
+        return sum(r.gain for r in self.records if r.applied)
+
+    @property
+    def worker_wall_s(self) -> float:
+        """Serial-equivalent runtime: sum of per-window worker wall times."""
+        return sum(r.wall_s for r in self.records)
+
+    @property
+    def speedup(self) -> float:
+        """Realized speedup estimate (worker time / elapsed time)."""
+        if self.elapsed_s <= 0.0:
+            return 1.0
+        return self.worker_wall_s / self.elapsed_s
+
+    def counter(self, key: str) -> float:
+        """Sum a numeric engine counter over every window payload."""
+        total = 0
+        for r in self.records:
+            value = r.payload.get(key, 0)
+            if isinstance(value, (int, float)):
+                total += value
+        return total
+
+    def format_report(self) -> str:
+        """Human-readable summary table of the pass."""
+        lines = [
+            f"parallel pass: engine={self.engine} jobs={self.jobs} "
+            f"windows={self.num_windows}",
+            f"  applied={self.num_applied}  gain={self.total_gain}  "
+            f"fallbacks={self.num_fallbacks}  "
+            f"pool_restarts={self.pool_restarts}",
+            f"  elapsed={self.elapsed_s:.2f}s  "
+            f"worker_time={self.worker_wall_s:.2f}s  "
+            f"speedup={self.speedup:.2f}x",
+        ]
+        reasons = self.fallback_reasons
+        if reasons:
+            pretty = ", ".join(f"{k}: {v}" for k, v in sorted(reasons.items()))
+            lines.append(f"  fallback reasons: {pretty}")
+        slowest = sorted(self.records, key=lambda r: -r.wall_s)[:5]
+        for r in slowest:
+            status = ("applied" if r.applied
+                      else (r.fallback or "unchanged"))
+            lines.append(f"  window {r.index:4d}: size={r.size:4d} "
+                         f"leaves={r.leaves:3d} wall={r.wall_s:6.3f}s "
+                         f"gain={r.gain:4d} [{status}]")
+        return "\n".join(lines)

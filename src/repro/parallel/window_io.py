@@ -1,0 +1,156 @@
+"""Picklable window transport for process-parallel partition execution.
+
+The partition engines (Sections III and IV of the paper) optimize bounded
+windows that are *independent* of each other — the property the parallel
+scheduler exploits.  A worker process cannot share the parent :class:`Aig`,
+so a window crosses the process boundary as a :class:`CompactAig`: the
+extracted standalone sub-network (leaves → PIs, roots → POs) flattened into
+plain integers and tuples.  No back-references to the parent network, no
+strash table, no fanout lists — ``pickle`` cost is linear in the window
+size and independent of the parent design.
+
+Local numbering convention (the AIGER convention, locally renumbered):
+
+* node ``0`` is constant FALSE,
+* nodes ``1 .. num_pis`` are the window leaves, in window-leaf order,
+* nodes ``num_pis + 1 ..`` are the AND gates, in topological order,
+* an edge is a literal ``2 * node + complement``.
+
+Decoding with :meth:`CompactAig.to_aig` rebuilds the *identical* sub-AIG
+(same node ids, same strash state) on both sides of the process boundary,
+which is what makes the scheduler's results independent of where a window
+is executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.aig.aig import Aig, lit_node
+from repro.partition.partitioner import Window, extract_window_aig
+
+
+@dataclass
+class CompactAig:
+    """A standalone sub-AIG flattened to plain ints — cheap to pickle."""
+
+    num_pis: int
+    #: fanin literal pairs of the AND gates, topological, local numbering
+    gates: List[Tuple[int, int]]
+    #: output literals, local numbering, one per window root
+    outputs: List[int]
+    name: str = "win"
+
+    @property
+    def num_ands(self) -> int:
+        """Number of AND gates in the encoding."""
+        return len(self.gates)
+
+    @classmethod
+    def from_aig(cls, aig: Aig) -> "CompactAig":
+        """Flatten *aig* (unreachable nodes dropped, live nodes renumbered).
+
+        Gates are emitted in id order when that order is topological (true
+        for freshly built or cleaned networks, and for everything
+        :meth:`to_aig` produces) — the renumbering is then monotonic, which
+        keeps fanin pairs in strash-canonical order and makes
+        encode → decode → encode byte-stable.  In-place edited networks,
+        where ``replace`` may have broken id order, fall back to a DFS
+        topological order.
+        """
+        topo = aig.topological_order()
+        reach = set(topo)
+        local: Dict[int, int] = {0: 0}
+        for i, pi in enumerate(aig.pis()):
+            local[pi] = i + 1
+        order = [n for n in aig.ands() if n in reach]
+        if not cls._id_order_is_topological(aig, order, local):
+            order = topo
+        gates: List[Tuple[int, int]] = []
+        next_id = aig.num_pis + 1
+        for n in order:
+            f0, f1 = aig.fanins(n)
+            a = 2 * local[lit_node(f0)] + (f0 & 1)
+            b = 2 * local[lit_node(f1)] + (f1 & 1)
+            gates.append((a, b) if a <= b else (b, a))
+            local[n] = next_id
+            next_id += 1
+        outputs = [2 * local[lit_node(po)] + (po & 1) for po in aig.pos()]
+        return cls(num_pis=aig.num_pis, gates=gates, outputs=outputs,
+                   name=aig.name)
+
+    @staticmethod
+    def _id_order_is_topological(aig: Aig, order: List[int],
+                                 local: Dict[int, int]) -> bool:
+        """True when every gate's fanins precede it in *order* (id order)."""
+        for n in order:
+            for f in aig.fanins(n):
+                fn = lit_node(f)
+                if fn not in local and fn >= n:
+                    return False
+        return True
+
+    def to_aig(self) -> Aig:
+        """Rebuild the sub-AIG; inverse of :meth:`from_aig`."""
+        aig = Aig(self.name)
+        # literal computing each local node (index = local node id)
+        lits: List[int] = [0]
+        lits.extend(aig.add_pis(self.num_pis, "w"))
+        for f0, f1 in self.gates:
+            a = lits[f0 >> 1] ^ (f0 & 1)
+            b = lits[f1 >> 1] ^ (f1 & 1)
+            lits.append(aig.add_and(a, b))
+        for i, out in enumerate(self.outputs):
+            aig.add_po(lits[out >> 1] ^ (out & 1), f"r{i}")
+        return aig
+
+
+@dataclass
+class WindowTask:
+    """One unit of work shipped to a worker process."""
+
+    index: int          #: position in the partition order (merge key)
+    compact: CompactAig
+    #: internal node count at extraction time (telemetry / guards)
+    size: int = 0
+
+
+@dataclass
+class WindowResult:
+    """What a worker sends back for one window."""
+
+    index: int
+    changed: bool = False
+    optimized: Optional[CompactAig] = None
+    #: engine-specific counters (plain numbers / small values only)
+    payload: Dict[str, Any] = field(default_factory=dict)
+    wall_s: float = 0.0
+    #: None on success; otherwise why the window fell back to its original
+    #: logic (``worker-error:*``, ``timeout``, ``worker-crashed``, ...)
+    fallback: Optional[str] = None
+
+
+def extract_task(aig: Aig, window: Window, index: int) -> WindowTask:
+    """Extract *window* from *aig* into a self-contained :class:`WindowTask`."""
+    sub, _mapping, _root_to_po = extract_window_aig(aig, window)
+    return WindowTask(index=index, compact=CompactAig.from_aig(sub),
+                      size=window.size)
+
+
+def whole_network_window(aig: Aig) -> Window:
+    """A :class:`Window` spanning all of *aig* (leaves = PIs, roots = POs).
+
+    Workers use this to run the existing per-partition engine code on an
+    extracted sub-AIG: the sub-network's primary inputs play the window-leaf
+    role and its outputs the window-root role.
+    """
+    roots: List[int] = []
+    seen = set()
+    for po in aig.pos():
+        n = lit_node(po)
+        if aig.is_and(n) and n not in seen:
+            seen.add(n)
+            roots.append(n)
+    return Window(nodes=aig.topological_order(), leaves=aig.pis(),
+                  roots=roots)

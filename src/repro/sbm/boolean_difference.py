@@ -33,7 +33,8 @@ from repro.bdd.manager import FALSE, BddManager
 from repro.bdd.to_aig import aig_window_to_bdds, bdd_to_aig
 from repro.errors import BddLimitError
 from repro.opt.shared import try_replace
-from repro.partition.partitioner import Window, partition_network
+from repro.parallel.scheduler import register_engine
+from repro.partition.partitioner import Window
 from repro.sbm.config import BooleanDifferenceConfig
 
 
@@ -55,15 +56,66 @@ class BooleanDifferenceStats:
 
 
 def boolean_difference_pass(aig: Aig,
-                            config: Optional[BooleanDifferenceConfig] = None
+                            config: Optional[BooleanDifferenceConfig] = None,
+                            jobs: int = 1,
+                            window_timeout_s: Optional[float] = None
                             ) -> BooleanDifferenceStats:
-    """Run Alg. 2 over every partition of the network; edits in place."""
+    """Run Alg. 2 over every partition of the network; edits in place.
+
+    Partitions are snapshot up front and optimized independently — inline
+    and in partition order when ``jobs=1`` (the serial path), over a process
+    pool when ``jobs>1`` — then spliced back in deterministic partition
+    order, so the result is identical for every ``jobs`` value.
+    """
+    config = config or BooleanDifferenceConfig()
+    from repro.parallel.scheduler import run_partitioned_pass
+    report = run_partitioned_pass(aig, "bdiff", config, config.partition,
+                                  jobs=jobs,
+                                  window_timeout_s=window_timeout_s)
+    stats = BooleanDifferenceStats(partitions=report.num_windows)
+    for record in report.records:
+        payload = record.payload
+        stats.pairs_tried += payload.get("pairs_tried", 0)
+        stats.pairs_filtered_support += payload.get(
+            "pairs_filtered_support", 0)
+        stats.pairs_filtered_inclusion += payload.get(
+            "pairs_filtered_inclusion", 0)
+        stats.pairs_filtered_bdd_size += payload.get(
+            "pairs_filtered_bdd_size", 0)
+        stats.pairs_filtered_saving += payload.get("pairs_filtered_saving", 0)
+        stats.bdd_bailouts += payload.get("bdd_bailouts", 0)
+        stats.bdd_nodes_allocated += payload.get("bdd_nodes_allocated", 0)
+        if record.applied:
+            stats.rewrites += payload.get("rewrites", 0)
+            stats.gain += record.gain
+    return stats
+
+
+def optimize_subaig(sub: Aig,
+                    config: Optional[BooleanDifferenceConfig] = None):
+    """Worker entry point: Boolean-difference resub on one sub-AIG.
+
+    Pure function of *sub* (the extracted window, leaves as PIs): returns
+    ``(changed, optimized sub-AIG or None, payload)`` for the scheduler.
+    """
     config = config or BooleanDifferenceConfig()
     stats = BooleanDifferenceStats()
-    for window in partition_network(aig, config.partition):
-        stats.partitions += 1
-        optimize_partition(aig, window, config, stats)
-    return stats
+    if sub.num_pis and sub.num_ands:
+        from repro.parallel.window_io import whole_network_window
+        optimize_partition(sub, whole_network_window(sub), config, stats)
+    payload = {
+        "pairs_tried": stats.pairs_tried,
+        "pairs_filtered_support": stats.pairs_filtered_support,
+        "pairs_filtered_inclusion": stats.pairs_filtered_inclusion,
+        "pairs_filtered_bdd_size": stats.pairs_filtered_bdd_size,
+        "pairs_filtered_saving": stats.pairs_filtered_saving,
+        "bdd_bailouts": stats.bdd_bailouts,
+        "bdd_nodes_allocated": stats.bdd_nodes_allocated,
+        "rewrites": stats.rewrites,
+        "gain": stats.gain,
+    }
+    changed = stats.rewrites > 0
+    return changed, (sub.cleanup() if changed else None), payload
 
 
 def optimize_partition(aig: Aig, window: Window,
@@ -237,3 +289,6 @@ def _sharing_credit(manager: BddManager, bdd_diff: int,
         stack.append(manager.low(node))
         stack.append(manager.high(node))
     return credit
+
+
+register_engine("bdiff", optimize_subaig)

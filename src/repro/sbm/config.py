@@ -78,6 +78,18 @@ class FlowConfig:
     """The full Boolean resynthesis script of Section V-A."""
 
     iterations: int = 2
+    #: Worker processes for the partition-based engines (hetero-kernel,
+    #: MSPF, Boolean difference).  ``1`` (default) executes every partition
+    #: inline in partition order — the exact serial path, no process
+    #: machinery; ``0``/``None`` means ``os.cpu_count()``.  The result is
+    #: identical for every value: partitions are snapshot up front, workers
+    #: are pure functions, and results merge in deterministic partition
+    #: order (see :mod:`repro.parallel`).
+    jobs: int = 1
+    #: Per-window wall-clock budget (seconds) when ``jobs > 1``; an
+    #: overrunning window falls back to its original logic.  ``None``
+    #: disables the timeout, which keeps parallel runs deterministic.
+    window_timeout_s: Optional[float] = None
     #: Optional level discipline (Section V-A: "we enforced a tight control
     #: on the number of levels ... as this is known to correlate with delay
     #: and congestion later on in the flow").  When set, a stage whose

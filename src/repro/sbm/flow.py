@@ -113,12 +113,14 @@ def _one_iteration(aig: Aig, config: FlowConfig, stats: FlowStats,
     stats.record(f"gradient[{effort}]", aig.num_ands)
     # 2. Heterogeneous elimination for kernel extraction.
     before = aig.cleanup()
-    hetero_kernel_pass(aig, config.kernel)
+    hetero_kernel_pass(aig, config.kernel, jobs=config.jobs,
+                       window_timeout_s=config.window_timeout_s)
     aig = guard(aig.cleanup(), before, "kernel")
     stats.record(f"kernel[{effort}]", aig.num_ands)
     # 3. Enhanced MSPF with BDDs.
     before = aig.cleanup()
-    mspf_pass(aig, config.mspf)
+    mspf_pass(aig, config.mspf, jobs=config.jobs,
+              window_timeout_s=config.window_timeout_s)
     aig = guard(aig.cleanup(), before, "mspf")
     stats.record(f"mspf[{effort}]", aig.num_ands)
     # 4. Collapse + Boolean decomposition on reconvergent MFFCs.
@@ -128,7 +130,8 @@ def _one_iteration(aig: Aig, config: FlowConfig, stats: FlowStats,
     stats.record(f"collapse_decomp[{effort}]", aig.num_ands)
     # 5. Boolean difference to escape local minima.
     before = aig.cleanup()
-    boolean_difference_pass(aig, config.boolean_difference)
+    boolean_difference_pass(aig, config.boolean_difference, jobs=config.jobs,
+                            window_timeout_s=config.window_timeout_s)
     aig = guard(aig.cleanup(), before, "boolean_diff")
     stats.record(f"boolean_diff[{effort}]", aig.num_ands)
     # 6. SAT sweeping and redundancy removal.

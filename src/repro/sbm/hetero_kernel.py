@@ -23,10 +23,10 @@ from typing import List, Optional, Tuple
 
 from repro.aig.aig import Aig
 from repro.opt.balance import balance
+from repro.parallel.scheduler import register_engine
 from repro.partition.partitioner import (
     Window,
     extract_window_aig,
-    partition_network,
     splice_window,
 )
 from repro.sbm.config import KernelConfig
@@ -48,15 +48,54 @@ class KernelStats:
             self.threshold_wins = {}
 
 
-def hetero_kernel_pass(aig: Aig, config: Optional[KernelConfig] = None
+def hetero_kernel_pass(aig: Aig, config: Optional[KernelConfig] = None,
+                       jobs: int = 1,
+                       window_timeout_s: Optional[float] = None
                        ) -> KernelStats:
-    """Run heterogeneous eliminate+kernel over every partition; edits in place."""
+    """Run heterogeneous eliminate+kernel over every partition; edits in place.
+
+    Partitions are snapshot up front and optimized independently — inline
+    and in partition order when ``jobs=1`` (the serial path), over a process
+    pool when ``jobs>1`` — then spliced back in deterministic partition
+    order, so the result is identical for every ``jobs`` value.
+    """
     config = config or KernelConfig()
-    stats = KernelStats()
-    for window in partition_network(aig, config.partition):
-        stats.partitions += 1
-        optimize_partition(aig, window, config, stats)
+    from repro.parallel.scheduler import run_partitioned_pass
+    report = run_partitioned_pass(aig, "kernel", config, config.partition,
+                                  jobs=jobs,
+                                  window_timeout_s=window_timeout_s)
+    stats = KernelStats(partitions=report.num_windows)
+    for record in report.records:
+        if not record.applied:
+            continue
+        stats.partitions_improved += 1
+        stats.literal_saving += int(record.payload.get("literal_saving", 0))
+        stats.node_gain += record.gain
+        threshold = record.payload.get("threshold")
+        if threshold is not None:
+            stats.threshold_wins[threshold] = (
+                stats.threshold_wins.get(threshold, 0) + 1)
     return stats
+
+
+def optimize_subaig(sub: Aig, config: Optional[KernelConfig] = None):
+    """Worker entry point: heterogeneous eliminate+kernel on one sub-AIG.
+
+    Pure function of *sub* (the extracted window with leaves as PIs and
+    roots as POs): returns ``(changed, optimized sub-AIG or None, payload)``
+    for the parallel scheduler.
+    """
+    config = config or KernelConfig()
+    if sub.num_ands < 4:
+        return False, None, {}
+    best = _best_threshold_result(sub, config)
+    if best is None:
+        return False, None, {}
+    threshold, optimized, saving = best
+    if optimized.num_ands >= sub.num_ands:
+        return False, None, {}  # not an improvement at the AIG level
+    return True, optimized, {"threshold": threshold,
+                             "literal_saving": saving}
 
 
 def optimize_partition(aig: Aig, window: Window, config: KernelConfig,
@@ -105,8 +144,8 @@ def _best_threshold_result(sub: Aig, config: KernelConfig
 
 
 def homogeneous_kernel_pass(aig: Aig, threshold: int,
-                            config: Optional[KernelConfig] = None
-                            ) -> KernelStats:
+                            config: Optional[KernelConfig] = None,
+                            jobs: int = 1) -> KernelStats:
     """Ablation baseline: one fixed eliminate threshold network-wide.
 
     Used by the ablation benchmark to quantify the benefit of heterogeneous
@@ -117,4 +156,7 @@ def homogeneous_kernel_pass(aig: Aig, threshold: int,
                           max_cubes=config.max_cubes,
                           kernel_rounds=config.kernel_rounds,
                           partition=config.partition)
-    return hetero_kernel_pass(aig, single)
+    return hetero_kernel_pass(aig, single, jobs=jobs)
+
+
+register_engine("kernel", optimize_subaig)

@@ -28,7 +28,8 @@ from repro.bdd.manager import FALSE, TRUE, BddManager
 from repro.bdd.to_aig import aig_window_to_bdds
 from repro.errors import BddLimitError
 from repro.opt.shared import try_replace
-from repro.partition.partitioner import Window, partition_network
+from repro.parallel.scheduler import register_engine
+from repro.partition.partitioner import Window
 from repro.sbm.config import MspfConfig
 
 
@@ -45,14 +46,58 @@ class MspfStats:
     gain: int = 0
 
 
-def mspf_pass(aig: Aig, config: Optional[MspfConfig] = None) -> MspfStats:
-    """Run BDD-based MSPF optimization over every partition; edits in place."""
+def mspf_pass(aig: Aig, config: Optional[MspfConfig] = None, jobs: int = 1,
+              window_timeout_s: Optional[float] = None) -> MspfStats:
+    """Run BDD-based MSPF optimization over every partition; edits in place.
+
+    Partitions are snapshot up front and optimized independently — inline
+    and in partition order when ``jobs=1`` (the serial path), over a process
+    pool when ``jobs>1`` — then spliced back in deterministic partition
+    order, so the result is identical for every ``jobs`` value.  MSPF
+    validity is unaffected by the snapshot: each window's observability
+    boundary (its roots) becomes the PO set of the extracted sub-network,
+    exactly the boundary the permissible functions are computed against.
+    """
+    config = config or MspfConfig()
+    from repro.parallel.scheduler import run_partitioned_pass
+    report = run_partitioned_pass(aig, "mspf", config, config.partition,
+                                  jobs=jobs,
+                                  window_timeout_s=window_timeout_s)
+    stats = MspfStats(partitions=report.num_windows)
+    for record in report.records:
+        payload = record.payload
+        stats.nodes_processed += payload.get("nodes_processed", 0)
+        stats.mspf_nonzero += payload.get("mspf_nonzero", 0)
+        stats.bdd_bailouts += payload.get("bdd_bailouts", 0)
+        stats.connectable_found += payload.get("connectable_found", 0)
+        if record.applied:
+            stats.rewrites += payload.get("rewrites", 0)
+            stats.gain += record.gain
+    return stats
+
+
+def optimize_subaig(sub: Aig, config: Optional[MspfConfig] = None):
+    """Worker entry point: MSPF resubstitution on one extracted sub-AIG.
+
+    Pure function of *sub*: the window's leaves are the sub-network's PIs
+    and its roots the POs, so the whole sub-network is one MSPF window.
+    Returns ``(changed, optimized sub-AIG or None, payload)``.
+    """
     config = config or MspfConfig()
     stats = MspfStats()
-    for window in partition_network(aig, config.partition):
-        stats.partitions += 1
-        optimize_partition(aig, window, config, stats)
-    return stats
+    if sub.num_pis and sub.num_ands:
+        from repro.parallel.window_io import whole_network_window
+        optimize_partition(sub, whole_network_window(sub), config, stats)
+    payload = {
+        "nodes_processed": stats.nodes_processed,
+        "mspf_nonzero": stats.mspf_nonzero,
+        "bdd_bailouts": stats.bdd_bailouts,
+        "connectable_found": stats.connectable_found,
+        "rewrites": stats.rewrites,
+        "gain": stats.gain,
+    }
+    changed = stats.rewrites > 0
+    return changed, (sub.cleanup() if changed else None), payload
 
 
 def optimize_partition(aig: Aig, window: Window, config: MspfConfig,
@@ -240,3 +285,6 @@ def _resub_under_mspf(aig: Aig, window: Window, manager: BddManager,
         if gain:
             return gain
     return 0
+
+
+register_engine("mspf", optimize_subaig)

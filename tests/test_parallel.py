@@ -1,0 +1,288 @@
+"""Tests for the process-parallel partition execution engine.
+
+Covers the three pillars of ``repro.parallel``:
+
+* **Transport** — :class:`CompactAig` round-trips a window through the
+  plain-data encoding and everything that crosses the process boundary
+  pickles cheaply.
+* **Determinism** — ``jobs=4`` produces a node-for-node identical graph to
+  ``jobs=1`` for every partition engine and for the full flow, on random
+  networks and on EPFL-style benchmarks.
+* **Fault isolation** — a worker that raises, hangs, or dies outright
+  leaves the network functionally unchanged (SAT-verified) and is reported
+  as a fallback rather than an error.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.aig.aig import Aig, lit_node
+from repro.bench.registry import get_benchmark
+from repro.parallel import (
+    CompactAig,
+    PartitionScheduler,
+    extract_task,
+    register_engine,
+    run_partitioned_pass,
+    run_window_task,
+    whole_network_window,
+)
+from repro.parallel.window_io import WindowTask
+from repro.partition.partitioner import PartitionConfig, partition_network
+from repro.sat.equivalence import assert_equivalent
+from repro.sbm.boolean_difference import boolean_difference_pass
+from repro.sbm.config import (
+    BooleanDifferenceConfig,
+    FlowConfig,
+    KernelConfig,
+    MspfConfig,
+)
+from repro.sbm.flow import sbm_flow
+from repro.sbm.hetero_kernel import hetero_kernel_pass
+from repro.sbm.mspf import mspf_pass
+
+from tests.conftest import make_random_aig
+
+#: Small windows so even the test-sized networks produce several tasks.
+SMALL_PARTS = PartitionConfig(max_levels=4, max_size=40, max_leaves=16)
+
+
+def signature(aig: Aig):
+    """Node-for-node structural fingerprint, independent of node ids.
+
+    Uses the :class:`CompactAig` local renumbering (PIs, then live ANDs in
+    topological order), so the fingerprint only depends on the stored graph
+    structure — dead nodes and id gaps are ignored, and no rebuild happens
+    that could itself reorder fanins.
+    """
+    c = CompactAig.from_aig(aig)
+    return (c.num_pis, tuple(c.gates), tuple(c.outputs))
+
+
+# -- fault-injection engines -------------------------------------------------
+# Registered at import time so fork()ed workers inherit them through the
+# parent's module state (names are resolved inside the worker).
+
+def _boom_engine(sub, config):
+    raise RuntimeError("injected failure")
+
+
+def _sleepy_engine(sub, config):
+    time.sleep(2.0)
+    return False, None, {}
+
+
+def _killer_engine(sub, config):
+    os._exit(13)  # hard crash: no exception, no cleanup — breaks the pool
+
+
+def _shrink_engine(sub, config):
+    """A real (but trivial) optimizer: strashed rebuild of the window."""
+    optimized = sub.cleanup()
+    if optimized.num_ands < sub.num_ands:
+        return True, optimized, {"shrunk": 1}
+    return False, None, {}
+
+
+register_engine("boom", _boom_engine)
+register_engine("sleepy", _sleepy_engine)
+register_engine("killer", _killer_engine)
+register_engine("shrink", _shrink_engine)
+
+
+# -- transport ---------------------------------------------------------------
+
+class TestWindowTransport:
+    def test_compact_roundtrip_identity(self):
+        aig = make_random_aig(8, 120, seed=7)
+        compact = CompactAig.from_aig(aig)
+        rebuilt = compact.to_aig()
+        assert signature(rebuilt) == signature(aig)
+        assert_equivalent(aig, rebuilt)
+
+    def test_compact_roundtrip_is_stable(self):
+        aig = make_random_aig(6, 80, seed=3)
+        once = CompactAig.from_aig(aig)
+        twice = CompactAig.from_aig(once.to_aig())
+        assert once == twice
+
+    def test_extracted_window_pickles(self):
+        aig = make_random_aig(10, 300, seed=11)
+        windows = partition_network(aig, SMALL_PARTS)
+        assert len(windows) > 1
+        for i, window in enumerate(windows):
+            blob = pickle.dumps(window)  # plain ints/lists only
+            assert pickle.loads(blob) == window
+            task = extract_task(aig, window, i)
+            clone = pickle.loads(pickle.dumps(task))
+            assert clone.compact == task.compact
+            assert clone.index == i
+
+    def test_task_matches_window_shape(self):
+        aig = make_random_aig(10, 300, seed=11)
+        window = partition_network(aig, SMALL_PARTS)[0]
+        task = extract_task(aig, window, 0)
+        assert task.compact.num_pis == len(window.leaves)
+        assert len(task.compact.outputs) == len(window.roots)
+        assert task.size == window.size
+
+    def test_whole_network_window(self):
+        aig = make_random_aig(6, 60, seed=5)
+        window = whole_network_window(aig)
+        assert window.leaves == aig.pis()
+        assert set(window.nodes) == set(aig.topological_order())
+        po_nodes = {lit_node(po) for po in aig.pos() if lit_node(po)}
+        assert set(window.roots) == po_nodes
+
+    def test_worker_runs_inline(self):
+        aig = make_random_aig(8, 150, seed=9)
+        task = extract_task(aig, whole_network_window(aig), 0)
+        result = run_window_task("shrink", task, None)
+        assert result.fallback is None
+        if result.changed:
+            assert_equivalent(task.compact.to_aig(),
+                              result.optimized.to_aig())
+
+
+# -- determinism -------------------------------------------------------------
+
+ENGINE_CASES = [
+    ("kernel", hetero_kernel_pass, lambda: KernelConfig(partition=SMALL_PARTS)),
+    ("mspf", mspf_pass, lambda: MspfConfig(partition=SMALL_PARTS)),
+    ("bdiff", boolean_difference_pass,
+     lambda: BooleanDifferenceConfig(partition=SMALL_PARTS)),
+]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name,pass_fn,make_config",
+                             ENGINE_CASES, ids=[c[0] for c in ENGINE_CASES])
+    def test_engine_jobs4_equals_jobs1(self, name, pass_fn, make_config):
+        reference = make_random_aig(12, 500, seed=42)
+        serial = reference.cleanup()
+        parallel = reference.cleanup()
+        pass_fn(serial, make_config(), jobs=1)
+        pass_fn(parallel, make_config(), jobs=4)
+        assert signature(parallel) == signature(serial)
+        assert_equivalent(reference, parallel.cleanup())
+
+    @pytest.mark.parametrize("bench", ["router", "cavlc"])
+    def test_epfl_benchmarks_jobs4_equals_jobs1(self, bench):
+        reference = get_benchmark(bench, scaled=True)
+        for name, pass_fn, make_config in ENGINE_CASES:
+            serial = reference.cleanup()
+            parallel = reference.cleanup()
+            pass_fn(serial, make_config(), jobs=1)
+            pass_fn(parallel, make_config(), jobs=4)
+            assert signature(parallel) == signature(serial), \
+                f"{name} diverged on {bench}"
+        assert_equivalent(reference, parallel.cleanup())
+
+    def test_flow_jobs2_equals_jobs1(self):
+        reference = get_benchmark("router", scaled=True)
+        serial, _ = sbm_flow(reference, FlowConfig(iterations=1, jobs=1))
+        parallel, _ = sbm_flow(reference, FlowConfig(iterations=1, jobs=2))
+        assert signature(parallel) == signature(serial)
+        assert_equivalent(reference, parallel)
+
+    def test_jobs_zero_means_cpu_count(self):
+        scheduler = PartitionScheduler(jobs=0)
+        assert scheduler.jobs == (os.cpu_count() or 1)
+        scheduler = PartitionScheduler(jobs=None)
+        assert scheduler.jobs == (os.cpu_count() or 1)
+
+    def test_report_telemetry(self):
+        aig = make_random_aig(12, 500, seed=42)
+        reference = aig.cleanup()
+        report = run_partitioned_pass(aig, "shrink", None,
+                                      partition_config=SMALL_PARTS, jobs=2)
+        assert report.engine == "shrink"
+        assert report.jobs == 2
+        assert report.num_windows == len(report.records)
+        assert report.num_windows > 1
+        assert report.total_gain >= 0
+        assert report.counter("shrunk") == report.num_applied
+        text = report.format_report()
+        assert "engine=shrink" in text and "jobs=2" in text
+        assert_equivalent(reference, aig.cleanup())
+
+
+# -- fault isolation ---------------------------------------------------------
+
+class TestFaultIsolation:
+    def test_worker_exception_falls_back(self):
+        aig = make_random_aig(10, 400, seed=17)
+        reference = aig.cleanup()
+        before = signature(aig)
+        report = run_partitioned_pass(aig, "boom", None,
+                                      partition_config=SMALL_PARTS, jobs=2)
+        assert report.num_windows > 1
+        assert report.num_applied == 0
+        assert report.num_fallbacks == report.num_windows
+        assert all(r.fallback.startswith("worker-error:RuntimeError")
+                   for r in report.records)
+        # Network is untouched — not just equivalent, structurally identical.
+        assert signature(aig) == before
+        assert_equivalent(reference, aig.cleanup())
+
+    def test_worker_timeout_falls_back(self):
+        aig = make_random_aig(10, 250, seed=23)
+        reference = aig.cleanup()
+        before = signature(aig)
+        scheduler = PartitionScheduler(jobs=2, window_timeout_s=0.25)
+        report = scheduler.run_pass(aig, "sleepy", None,
+                                    partition_config=SMALL_PARTS)
+        assert report.num_windows > 1
+        assert report.num_applied == 0
+        assert "timeout" in report.fallback_reasons
+        assert signature(aig) == before
+        assert_equivalent(reference, aig.cleanup())
+
+    def test_worker_crash_restarts_pool(self):
+        aig = make_random_aig(10, 250, seed=29)
+        reference = aig.cleanup()
+        before = signature(aig)
+        scheduler = PartitionScheduler(jobs=2, max_pool_restarts=1)
+        report = scheduler.run_pass(aig, "killer", None,
+                                    partition_config=SMALL_PARTS)
+        assert report.num_windows > 1
+        assert report.num_applied == 0
+        assert report.num_fallbacks == report.num_windows
+        assert report.pool_restarts >= 1
+        reasons = report.fallback_reasons
+        assert "worker-crashed" in reasons or "pool-restart-limit" in reasons
+        assert signature(aig) == before
+        assert_equivalent(reference, aig.cleanup())
+
+    def test_unknown_engine_falls_back(self):
+        aig = make_random_aig(8, 150, seed=31)
+        before = signature(aig)
+        report = run_partitioned_pass(aig, "no-such-engine", None,
+                                      partition_config=SMALL_PARTS, jobs=1)
+        assert report.num_applied == 0
+        assert all(r.fallback.startswith("worker-error:KeyError")
+                   for r in report.records)
+        assert signature(aig) == before
+
+
+# -- CLI plumbing ------------------------------------------------------------
+
+class TestJobsFlag:
+    def test_extract_jobs_variants(self):
+        from repro.__main__ import _extract_jobs
+        assert _extract_jobs(["table1", "-j", "4"]) == (["table1"], 4)
+        assert _extract_jobs(["--jobs", "8", "table2"]) == (["table2"], 8)
+        assert _extract_jobs(["--jobs=0", "fig1"]) == (["fig1"], 0)
+        assert _extract_jobs(["bench"]) == (["bench"], 1)
+        with pytest.raises(SystemExit):
+            _extract_jobs(["table1", "--jobs"])
+
+    def test_flow_config_carries_jobs(self):
+        config = FlowConfig(jobs=3, window_timeout_s=1.5)
+        assert config.jobs == 3
+        assert config.window_timeout_s == 1.5

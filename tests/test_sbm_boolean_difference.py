@@ -87,12 +87,19 @@ def test_memory_limit_bails_out_not_crashes(random_aig_factory):
 
 
 def test_xor_cost_affects_acceptance(random_aig_factory):
-    """A prohibitive xor_cost must suppress rewrites (saving filter)."""
+    """A prohibitive xor_cost must suppress rewrites (saving filter).
+
+    The two runs diverge structurally after the first accepted rewrite, so
+    raw filter counters are not comparable between them — the invariant is
+    that the prohibitive cost rejects candidates (the saving filter fires)
+    and accepts at most the xor-free subset of what the cheap run accepts.
+    """
     aig1 = random_aig_factory(10, 200, seed=6)
     aig2 = aig1.cleanup()
     cheap = boolean_difference_pass(
         aig1, BooleanDifferenceConfig(xor_cost=0))
     expensive = boolean_difference_pass(
         aig2, BooleanDifferenceConfig(xor_cost=10 ** 6))
-    assert expensive.pairs_filtered_saving >= cheap.pairs_filtered_saving
+    assert expensive.pairs_filtered_saving > 0
+    assert expensive.rewrites <= cheap.rewrites
     assert expensive.rewrites == 0 or expensive.gain <= cheap.gain
