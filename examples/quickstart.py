@@ -27,8 +27,9 @@ def main() -> None:
     #    Boolean difference resubstitution, SAT sweeping.
     optimized, stats = sbm_flow(aig, FlowConfig(iterations=1))
     print(f"optimized   : {optimized.stats()}  ({stats.runtime_s:.1f}s)")
-    for stage, size in stats.stages:
-        print(f"   {stage:24s} {size}")
+    for record in stats.records:
+        print(f"   {record.name:24s} {record.size:6d}  "
+              f"{record.elapsed_s:6.2f}s")
 
     # 3. Verify the result formally (SAT-based equivalence check).
     equivalent, counterexample = check_equivalence(aig, optimized)

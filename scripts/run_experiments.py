@@ -7,9 +7,15 @@ file already exists (delete ``results/`` to rerun from scratch), and tables
 are written batch-by-batch so partial runs still produce usable rows.
 
 Usage:  python scripts/run_experiments.py [--fast] [--jobs N]
+                                          [--trace] [--report-json PATH]
 
 ``--jobs N`` (or ``-j N``) fans the partition-based engines out over N
 worker processes (0 = all cores); results are identical to the serial run.
+
+``--trace`` enables the ``repro.obs`` tracer and writes the span/metrics
+tables to ``results/obs_trace.txt``; ``--report-json PATH`` writes the
+machine-readable run report (stable schema, every flow and parallel pass
+of the experiment sweep included).
 """
 
 from __future__ import annotations
@@ -53,9 +59,25 @@ def parse_jobs(argv) -> int:
     return jobs
 
 
+def parse_report_json(argv):
+    """Read ``--report-json PATH`` (or ``--report-json=PATH``) from *argv*."""
+    for i, arg in enumerate(argv):
+        if arg == "--report-json" and i + 1 < len(argv):
+            return argv[i + 1]
+        if arg.startswith("--report-json="):
+            return arg.split("=", 1)[1]
+    return None
+
+
 def main() -> None:
     fast = "--fast" in sys.argv
     jobs = parse_jobs(sys.argv)
+    trace = "--trace" in sys.argv
+    report_json = parse_report_json(sys.argv)
+    session = None
+    if trace or report_json:
+        from repro import obs
+        session = obs.enable()
     from repro.sbm.config import FlowConfig
 
     flow = FlowConfig(iterations=1, jobs=jobs)
@@ -133,6 +155,26 @@ def main() -> None:
                 save(artifact, fmt_t2(rows))
 
     save("DONE.txt", f"experiments finished in {time.time() - t0:.0f}s")
+
+    if session is not None:
+        from repro import obs
+        from repro.obs.report import (
+            build_report,
+            format_metrics_table,
+            format_trace_table,
+            write_report,
+        )
+        obs.disable()
+        if trace:
+            table = format_trace_table(
+                [s.to_dict() for s in session.tracer.roots])
+            save("obs_trace.txt",
+                 table + "\n" + format_metrics_table(session.metrics.to_dict()))
+        if report_json:
+            report = build_report(session,
+                                  command=" ".join(sys.argv[1:]))
+            write_report(report_json, report)
+            print(f"run report written to {report_json}")
 
 
 if __name__ == "__main__":

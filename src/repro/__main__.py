@@ -17,12 +17,20 @@ Options
 ``--jobs N`` / ``-j N``  worker processes for the partition-based engines
                          (default 1 = serial; 0 = all cores).  Results are
                          identical for every value — see ``repro.parallel``.
+``--trace``              enable the hierarchical tracer and print the span
+                         table + metrics after the command (``repro.obs``)
+``--trace-jsonl PATH``   stream every span to a JSONL event sink
+``--report-json PATH``   write the machine-readable run report (stable
+                         schema; validate with ``python -m repro.obs.report``)
+
+``optimize`` also accepts a benchmark name from the registry, e.g.
+``python -m repro optimize router --trace --report-json out.json``.
 """
 
 from __future__ import annotations
 
 import sys
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 
 def _parse_jobs_value(flag: str, value: str) -> int:
@@ -54,13 +62,70 @@ def _extract_jobs(args: List[str]) -> Tuple[List[str], int]:
     return out, jobs
 
 
+def _extract_value_flag(args: List[str], flag: str) -> Tuple[List[str], Optional[str]]:
+    """Strip ``flag PATH`` (or ``flag=PATH``) from *args*."""
+    value: Optional[str] = None
+    out: List[str] = []
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg == flag:
+            if i + 1 >= len(args):
+                raise SystemExit(f"{flag} requires a value")
+            value = args[i + 1]
+            i += 2
+            continue
+        if arg.startswith(flag + "="):
+            value = arg.split("=", 1)[1]
+            i += 1
+            continue
+        out.append(arg)
+        i += 1
+    return out, value
+
+
+def _extract_obs(args: List[str]) -> Tuple[List[str], bool, Optional[str],
+                                           Optional[str]]:
+    """Strip the observability flags; returns (args, trace, jsonl, report)."""
+    args, jsonl = _extract_value_flag(args, "--trace-jsonl")
+    args, report = _extract_value_flag(args, "--report-json")
+    trace = "--trace" in args
+    args = [a for a in args if a != "--trace"]
+    return args, trace, jsonl, report
+
+
 def main(argv=None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     args, jobs = _extract_jobs(args)
+    args, trace, trace_jsonl, report_json = _extract_obs(args)
     if not args:
         print(__doc__)
         return 1
     command, rest = args[0], args[1:]
+    observe = trace or trace_jsonl is not None or report_json is not None
+    if not observe:
+        return _dispatch(command, rest, jobs)
+    from repro import obs
+    from repro.obs.report import build_report, write_report
+    session = obs.enable(jsonl_path=trace_jsonl)
+    try:
+        status = _dispatch(command, rest, jobs)
+    finally:
+        obs.disable()
+    if trace:
+        from repro.obs.report import format_metrics_table, format_trace_table
+        print()
+        print(format_trace_table([s.to_dict() for s in session.tracer.roots]))
+        print(format_metrics_table(session.metrics.to_dict()))
+    if report_json is not None:
+        report = build_report(session,
+                              command=" ".join([command] + list(rest)))
+        write_report(report_json, report)
+        print(f"run report written to {report_json}")
+    return status
+
+
+def _dispatch(command: str, rest: List[str], jobs: int) -> int:
     from repro.sbm.config import FlowConfig
     flow_config = FlowConfig(iterations=1, jobs=jobs)
     if command == "fig1":
@@ -86,10 +151,18 @@ def main(argv=None) -> int:
         from repro.experiments import ablation
         ablation.main()
     elif command == "optimize":
+        if not rest:
+            raise SystemExit("optimize requires an .aag file or a benchmark "
+                             "name")
+        import os
         from repro.aig.io_aiger import read_aag, write_aag
+        from repro.bench.registry import benchmark_names, get_benchmark
         from repro.sat.equivalence import check_equivalence
         from repro.sbm.flow import sbm_flow
-        aig = read_aag(rest[0])
+        if not os.path.exists(rest[0]) and rest[0] in benchmark_names():
+            aig = get_benchmark(rest[0], scaled=True)
+        else:
+            aig = read_aag(rest[0])
         print(f"input : {aig.stats()}")
         optimized, stats = sbm_flow(aig, flow_config)
         ok, _ = check_equivalence(aig, optimized)

@@ -1,0 +1,175 @@
+"""Observability for the SBM flow: tracing, metrics, run reports.
+
+The package answers "where did the time go, which moves fired, why did
+MSPF bail out" without print-debugging:
+
+* :mod:`repro.obs.tracer` — hierarchical span tracer
+  (``flow → iteration → stage → partition-window → move``) with wall/CPU
+  time, node-count deltas, and an optional JSONL event sink,
+* :mod:`repro.obs.metrics` — counters/gauges/histograms for engine-level
+  events (move selections, budget spend, BDD/MSPF bailouts,
+  kernel-threshold winners, SAT-sweep merges, parallel fallbacks),
+* :mod:`repro.obs.report` — the stable JSON run-report schema and its
+  human renderings; ``FlowStats`` and ``ParallelReport`` objects register
+  themselves here, so the pre-existing telemetry becomes views over one
+  store.
+
+Instrumented code always talks to the *active* tracer/registry through the
+module-level accessors (:func:`span`, :func:`metrics`, :func:`tracer`).
+By default both are disabled no-op singletons, so the instrumentation adds
+near-zero overhead; :func:`enable` (the ``--trace``/``--report-json`` CLI
+flags) swaps in live objects for the duration of a run:
+
+    session = obs.enable(jsonl_path="trace.jsonl")
+    try:
+        optimized, stats = sbm_flow(aig, config)
+    finally:
+        obs.disable()
+    report = build_report(session, command="optimize adder")
+
+Worker processes never write to the parent's tracer or registry: the
+parallel scheduler gives each window task a fresh local registry, ships
+its snapshot back inside the window payload, and merges the snapshots in
+deterministic partition order (see :mod:`repro.parallel.scheduler`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetrics
+from repro.obs.tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    JsonlSink,
+    NullTracer,
+    Span,
+    Tracer,
+    load_jsonl,
+)
+
+_tracer = NULL_TRACER
+_metrics = NULL_METRICS
+_session: Optional["ObsSession"] = None
+
+
+class ObsSession:
+    """One enabled observability run: tracer + metrics + telemetry store."""
+
+    def __init__(self, jsonl_path: Optional[str] = None,
+                 max_spans: int = 100_000) -> None:
+        self._sink_file = None
+        sink = None
+        if jsonl_path is not None:
+            self._sink_file = open(jsonl_path, "w", encoding="utf-8")
+            sink = JsonlSink(self._sink_file)
+        self.tracer = Tracer(sink=sink, max_spans=max_spans)
+        self.metrics = MetricsRegistry()
+        self.flow_stats: List[Any] = []
+        self.parallel_reports: List[Any] = []
+
+    def close(self) -> None:
+        """Flush and release the JSONL sink, if any."""
+        if self._sink_file is not None:
+            self._sink_file.close()
+            self._sink_file = None
+
+
+# -- global context -----------------------------------------------------------
+
+def enable(jsonl_path: Optional[str] = None,
+           max_spans: int = 100_000) -> ObsSession:
+    """Activate tracing and metrics; returns the new session."""
+    global _tracer, _metrics, _session
+    if _session is not None:
+        disable()
+    _session = ObsSession(jsonl_path=jsonl_path, max_spans=max_spans)
+    _tracer = _session.tracer
+    _metrics = _session.metrics
+    return _session
+
+
+def disable() -> None:
+    """Deactivate observability; the session object stays readable."""
+    global _tracer, _metrics, _session
+    if _session is not None:
+        _session.close()
+    _tracer = NULL_TRACER
+    _metrics = NULL_METRICS
+    _session = None
+
+
+def enabled() -> bool:
+    """True while a session is active."""
+    return _session is not None
+
+
+def session() -> Optional[ObsSession]:
+    """The active session, or None."""
+    return _session
+
+
+def tracer() -> Tracer:
+    """The active tracer (the null singleton when disabled)."""
+    return _tracer
+
+
+def metrics() -> MetricsRegistry:
+    """The active metrics registry (the null singleton when disabled)."""
+    return _metrics
+
+
+def span(name: str, kind: str = "span", **attrs: Any):
+    """Open a span on the active tracer (no-op singleton when disabled)."""
+    return _tracer.span(name, kind=kind, **attrs)
+
+
+def install(tracer_obj, metrics_obj):
+    """Low-level: swap the active tracer/registry; returns the previous pair.
+
+    Used by the parallel scheduler's worker entry point to redirect engine
+    metrics into a per-window local registry (and silence the tracer, whose
+    JSONL sink must not be written from a forked worker).
+    """
+    global _tracer, _metrics
+    previous = (_tracer, _metrics)
+    _tracer = tracer_obj
+    _metrics = metrics_obj
+    return previous
+
+
+def record_flow_stats(stats: Any) -> None:
+    """Register a finished FlowStats with the active session."""
+    if _session is not None:
+        _session.flow_stats.append(stats)
+
+
+def record_parallel_report(report: Any) -> None:
+    """Register a finished ParallelReport with the active session."""
+    if _session is not None:
+        _session.parallel_reports.append(report)
+
+
+__all__ = [
+    "JsonlSink",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
+    "ObsSession",
+    "Span",
+    "Tracer",
+    "disable",
+    "enable",
+    "enabled",
+    "install",
+    "load_jsonl",
+    "metrics",
+    "record_flow_stats",
+    "record_parallel_report",
+    "session",
+    "span",
+    "tracer",
+]

@@ -1,0 +1,173 @@
+"""Engine-level metrics registry: counters, gauges, histograms.
+
+The SBM engines emit *events* that spans are too coarse to capture —
+gradient move waterfall selections and budget spend, BDD-size-limit and
+MSPF memory bailouts, kernel-threshold winners per partition, SAT-sweep
+merges, parallel fallback reasons.  The registry aggregates them:
+
+* **counters** — monotonically added values (``inc``),
+* **gauges** — last-written values (``set_gauge``),
+* **histograms** — running ``count/sum/min/max`` aggregates (``observe``).
+
+Keys carry optional labels, rendered into the key as
+``name{label=value,...}`` with labels sorted — so the same event emitted
+anywhere aggregates under one key.
+
+Worker processes cannot write to the parent registry; they fill a fresh
+local registry, :meth:`MetricsRegistry.snapshot` it into the window
+payload, and the parallel scheduler :meth:`MetricsRegistry.merge`\\ s the
+snapshots back **in partition order**.  Every merge operation is
+commutative and value-deterministic (only counts, never wall times, go
+through the registry), so the merged metrics are identical for ``jobs=1``
+and ``jobs=N``.
+
+The disabled registry is the :data:`NULL_METRICS` singleton whose methods
+are no-ops, mirroring the null tracer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+
+def metric_key(name: str, labels: Dict[str, Any]) -> str:
+    """Render ``name`` + labels into the canonical registry key."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Aggregates counters, gauges, and histogram summaries."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        #: key -> [count, sum, min, max]
+        self._hists: Dict[str, List[float]] = {}
+
+    # -- write API -----------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1, **labels: Any) -> None:
+        """Add *value* to a counter."""
+        key = metric_key(name, labels)
+        self.counters[key] = self.counters.get(key, 0) + value
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Set a gauge to its latest value."""
+        self.gauges[metric_key(name, labels)] = value
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        """Fold *value* into a histogram summary."""
+        key = metric_key(name, labels)
+        hist = self._hists.get(key)
+        if hist is None:
+            self._hists[key] = [1, value, value, value]
+        else:
+            hist[0] += 1
+            hist[1] += value
+            hist[2] = min(hist[2], value)
+            hist[3] = max(hist[3], value)
+
+    # -- read / transport ----------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> float:
+        """Current value of a counter (0 when never incremented)."""
+        return self.counters.get(metric_key(name, labels), 0)
+
+    def counters_with_prefix(self, prefix: str) -> Dict[str, float]:
+        """All counters whose key starts with *prefix* (sorted)."""
+        return {k: self.counters[k] for k in sorted(self.counters)
+                if k.startswith(prefix)}
+
+    @property
+    def histograms(self) -> Dict[str, Dict[str, float]]:
+        """Histogram summaries as ``{key: {count, sum, min, max, mean}}``."""
+        out: Dict[str, Dict[str, float]] = {}
+        for key, (count, total, lo, hi) in self._hists.items():
+            out[key] = {"count": count, "sum": total, "min": lo, "max": hi,
+                        "mean": total / count if count else 0.0}
+        return out
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-data copy for pickling across the process boundary."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: list(v) for k, v in self._hists.items()},
+        }
+
+    def merge(self, snapshot: Optional[Dict[str, Any]]) -> None:
+        """Fold a :meth:`snapshot` in: counters add, histograms combine,
+        gauges last-write (in merge-call order)."""
+        if not snapshot:
+            return
+        for key, value in snapshot.get("counters", {}).items():
+            self.counters[key] = self.counters.get(key, 0) + value
+        for key, value in snapshot.get("gauges", {}).items():
+            self.gauges[key] = value
+        for key, (count, total, lo, hi) in snapshot.get(
+                "histograms", {}).items():
+            hist = self._hists.get(key)
+            if hist is None:
+                self._hists[key] = [count, total, lo, hi]
+            else:
+                hist[0] += count
+                hist[1] += total
+                hist[2] = min(hist[2], lo)
+                hist[3] = max(hist[3], hi)
+
+    def is_empty(self) -> bool:
+        """True when nothing was recorded."""
+        return not (self.counters or self.gauges or self._hists)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe, sorted representation for the run report."""
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "histograms": {k: v for k, v in sorted(self.histograms.items())},
+        }
+
+
+class NullMetrics:
+    """Disabled registry: same write API, costs nothing."""
+
+    enabled = False
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, Dict[str, float]] = {}
+
+    def inc(self, name: str, value: float = 1, **labels: Any) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        pass
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        pass
+
+    def counter(self, name: str, **labels: Any) -> float:
+        return 0
+
+    def counters_with_prefix(self, prefix: str) -> Dict[str, float]:
+        return {}
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {}
+
+    def merge(self, snapshot: Optional[Dict[str, Any]]) -> None:
+        pass
+
+    def is_empty(self) -> bool:
+        return True
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+#: The singleton disabled registry (the default active registry).
+NULL_METRICS = NullMetrics()

@@ -1,0 +1,303 @@
+"""Hierarchical span tracer for the SBM flow.
+
+A *span* is one timed region of the flow — ``flow → iteration → stage →
+partition-window → move`` — with wall/CPU time, free-form attributes
+(node counts before/after, fallback reasons, ...), bounded point events,
+and child spans.  Spans are created through a nestable context-manager
+API:
+
+    with tracer.span("mspf", kind="stage") as sp:
+        sp.set("nodes_before", aig.num_ands)
+        ...
+        sp.set("nodes_after", aig.num_ands)
+
+The tracer keeps the finished spans in an in-memory tree (``roots``) and
+can mirror every span start/end to a JSONL event sink, which
+:func:`load_jsonl` turns back into the same tree — the round-trip used by
+offline analysis and the test suite.
+
+Work executed in worker processes cannot open live spans in the parent;
+:meth:`Tracer.record` creates an already-closed child span from a measured
+wall time, which is how the parallel scheduler attributes per-window worker
+times to the current stage.
+
+Disabled tracing is the common case and must cost nothing: the module-level
+:data:`NULL_TRACER`/:data:`NULL_SPAN` singletons implement the same API as
+pure no-ops, so instrumented call sites never branch — they always run
+``with <tracer>.span(...)`` and the null objects make it a few attribute
+lookups (< 2% of any engine's runtime; see ``benchmarks/bench_obs.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional, TextIO
+
+#: Cap on events stored per span — point events (e.g. gradient move
+#: applications) are interesting individually but unbounded in number.
+MAX_EVENTS_PER_SPAN = 256
+
+
+def _jsonable(value: Any) -> Any:
+    """Clamp an attribute value to something the JSONL sink can encode."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+class Span:
+    """One timed, attributed region; closed via the context manager."""
+
+    __slots__ = ("name", "kind", "attrs", "events", "children",
+                 "wall_s", "cpu_s", "span_id", "parent_id",
+                 "dropped_events", "_t0", "_c0", "_tracer")
+
+    def __init__(self, name: str, kind: str, tracer: "Tracer",
+                 span_id: int, parent_id: Optional[int],
+                 attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self.kind = kind
+        self.attrs = attrs
+        self.events: List[Dict[str, Any]] = []
+        self.children: List["Span"] = []
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.dropped_events = 0
+        self._t0 = time.perf_counter()
+        self._c0 = time.process_time()
+        self._tracer = tracer
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach one attribute to the span."""
+        self.attrs[key] = value
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a point event on the span (bounded; overflow is counted)."""
+        if len(self.events) >= MAX_EVENTS_PER_SPAN:
+            self.dropped_events += 1
+            return
+        record = {"name": name}
+        record.update(attrs)
+        self.events.append(record)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._close(self)
+        return False
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe tree rooted at this span (the report representation)."""
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "attrs": {k: _jsonable(v) for k, v in self.attrs.items()},
+            "events": [{k: _jsonable(v) for k, v in e.items()}
+                       for e in self.events],
+            "children": [c.to_dict() for c in self.children],
+        }
+        if self.dropped_events:
+            out["dropped_events"] = self.dropped_events
+        return out
+
+
+class _NullSpan:
+    """Shared no-op span: every method is a pass, nesting is free."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: The singleton no-op span returned by the disabled tracer.
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: same API as :class:`Tracer`, costs nothing."""
+
+    enabled = False
+    roots: List[Span] = []
+    dropped_spans = 0
+
+    def span(self, name: str, kind: str = "span", **attrs: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def record(self, name: str, kind: str = "span", wall_s: float = 0.0,
+               **attrs: Any) -> None:
+        pass
+
+    def current(self) -> None:
+        return None
+
+
+#: The singleton disabled tracer (the default active tracer).
+NULL_TRACER = NullTracer()
+
+
+class JsonlSink:
+    """Streams span start/end events as JSON lines to a text file."""
+
+    def __init__(self, stream: TextIO) -> None:
+        self.stream = stream
+        self._epoch = time.perf_counter()
+
+    def start(self, span: Span) -> None:
+        self._write({"ev": "start", "id": span.span_id,
+                     "parent": span.parent_id, "name": span.name,
+                     "kind": span.kind,
+                     "t": round(time.perf_counter() - self._epoch, 6)})
+
+    def end(self, span: Span) -> None:
+        record = {"ev": "end", "id": span.span_id,
+                  "wall_s": span.wall_s, "cpu_s": span.cpu_s,
+                  "attrs": {k: _jsonable(v) for k, v in span.attrs.items()},
+                  "events": [{k: _jsonable(v) for k, v in e.items()}
+                             for e in span.events]}
+        if span.dropped_events:
+            record["dropped_events"] = span.dropped_events
+        self._write(record)
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        self.stream.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+class Tracer:
+    """Collects a span tree; optionally mirrors it to a JSONL sink.
+
+    ``max_spans`` bounds the in-memory tree on pathological traces: once
+    reached, :meth:`span` hands out :data:`NULL_SPAN` and counts the drop
+    (the JSONL sink stops receiving those spans too).
+    """
+
+    enabled = True
+
+    def __init__(self, sink: Optional[JsonlSink] = None,
+                 max_spans: int = 100_000) -> None:
+        self.sink = sink
+        self.max_spans = max_spans
+        self.roots: List[Span] = []
+        self.dropped_spans = 0
+        self._stack: List[Span] = []
+        self._next_id = 0
+
+    def span(self, name: str, kind: str = "span", **attrs: Any):
+        """Open a child span of the innermost live span (context manager)."""
+        if self._next_id >= self.max_spans:
+            self.dropped_spans += 1
+            return NULL_SPAN
+        parent = self._stack[-1] if self._stack else None
+        span = Span(name, kind, self, self._next_id,
+                    parent.span_id if parent else None, attrs)
+        self._next_id += 1
+        self._stack.append(span)
+        if self.sink is not None:
+            self.sink.start(span)
+        return span
+
+    def record(self, name: str, kind: str = "span", wall_s: float = 0.0,
+               **attrs: Any) -> None:
+        """Attach an already-measured span (e.g. a worker-side window).
+
+        The span is created closed, with ``wall_s`` taken verbatim and no
+        CPU time (it was spent in another process).
+        """
+        if self._next_id >= self.max_spans:
+            self.dropped_spans += 1
+            return
+        parent = self._stack[-1] if self._stack else None
+        span = Span(name, kind, self, self._next_id,
+                    parent.span_id if parent else None, attrs)
+        self._next_id += 1
+        span.wall_s = wall_s
+        if self.sink is not None:
+            self.sink.start(span)
+            self.sink.end(span)
+        self._attach(span, parent)
+
+    def current(self) -> Optional[Span]:
+        """The innermost live span, or None outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    # -- internal ------------------------------------------------------------
+
+    def _close(self, span: Span) -> None:
+        span.wall_s = time.perf_counter() - span._t0
+        span.cpu_s = time.process_time() - span._c0
+        # Tolerate out-of-order closes (a leaked span closed late): unwind
+        # to the span being closed so the tree stays consistent.
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        parent = self._stack[-1] if self._stack else None
+        if self.sink is not None:
+            self.sink.end(span)
+        self._attach(span, parent)
+
+    def _attach(self, span: Span, parent: Optional[Span]) -> None:
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+
+
+def load_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Rebuild the span tree (as :meth:`Span.to_dict` dicts) from a JSONL sink.
+
+    Spans whose ``end`` event is missing (crash mid-span) appear with
+    ``wall_s = 0`` and whatever was known at start time.
+    """
+    spans: Dict[int, Dict[str, Any]] = {}
+    order: List[int] = []
+    parents: Dict[int, Optional[int]] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("ev") == "start":
+                span_id = record["id"]
+                spans[span_id] = {"name": record["name"],
+                                  "kind": record["kind"],
+                                  "wall_s": 0.0, "cpu_s": 0.0,
+                                  "attrs": {}, "events": [], "children": []}
+                parents[span_id] = record.get("parent")
+                order.append(span_id)
+            elif record.get("ev") == "end":
+                span = spans.get(record["id"])
+                if span is None:
+                    continue
+                span["wall_s"] = record.get("wall_s", 0.0)
+                span["cpu_s"] = record.get("cpu_s", 0.0)
+                span["attrs"] = record.get("attrs", {})
+                span["events"] = record.get("events", [])
+                if record.get("dropped_events"):
+                    span["dropped_events"] = record["dropped_events"]
+    roots: List[Dict[str, Any]] = []
+    for span_id in order:
+        parent_id = parents[span_id]
+        if parent_id is not None and parent_id in spans:
+            spans[parent_id]["children"].append(spans[span_id])
+        else:
+            roots.append(spans[span_id])
+    return roots

@@ -35,7 +35,10 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.aig.aig import Aig
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
 from repro.parallel.stats import ParallelReport, WindowRecord
 from repro.parallel.window_io import (
     CompactAig,
@@ -81,15 +84,32 @@ def _fallback_result(task: WindowTask, reason: str,
                         wall_s=wall_s, fallback=reason)
 
 
-def run_window_task(engine_name: str, task: WindowTask,
-                    config: Any) -> WindowResult:
+#: Reserved payload key carrying the worker's local metrics snapshot back
+#: to the parent, where it merges in deterministic partition order.
+OBS_PAYLOAD_KEY = "_obs_metrics"
+
+
+def run_window_task(engine_name: str, task: WindowTask, config: Any,
+                    collect_metrics: Optional[bool] = None) -> WindowResult:
     """Worker entry point: decode, optimize, re-encode one window.
 
     Runs in a worker process (or inline when ``jobs=1``).  Any exception is
     converted into a fallback result so a failing window can never poison
     the merge phase.
+
+    When ``collect_metrics`` is true (``None`` means "iff observability is
+    enabled in this process"), the engine runs against a fresh local
+    metrics registry — never the parent's, whose JSONL sink and span stack
+    must not be touched from a forked worker — and the registry snapshot is
+    shipped back in the result payload under :data:`OBS_PAYLOAD_KEY`.  The
+    scheduler passes the parent's setting explicitly so the behaviour does
+    not depend on the multiprocessing start method.
     """
     start = time.perf_counter()
+    if collect_metrics is None:
+        collect_metrics = obs.enabled()
+    local = MetricsRegistry() if collect_metrics else None
+    previous = obs.install(NULL_TRACER, local) if local is not None else None
     try:
         engine = _resolve_engine(engine_name)
         sub = task.compact.to_aig()
@@ -97,14 +117,20 @@ def run_window_task(engine_name: str, task: WindowTask,
         compact = None
         if changed and optimized is not None:
             compact = CompactAig.from_aig(optimized)
-        return WindowResult(index=task.index,
-                            changed=compact is not None,
-                            optimized=compact, payload=payload,
-                            wall_s=time.perf_counter() - start)
+        result = WindowResult(index=task.index,
+                              changed=compact is not None,
+                              optimized=compact, payload=payload,
+                              wall_s=time.perf_counter() - start)
     except Exception as exc:  # fault isolation: report, don't propagate
-        return _fallback_result(
+        result = _fallback_result(
             task, f"worker-error:{type(exc).__name__}: {exc}",
             wall_s=time.perf_counter() - start)
+    finally:
+        if previous is not None:
+            obs.install(*previous)
+    if local is not None and not local.is_empty():
+        result.payload[OBS_PAYLOAD_KEY] = local.snapshot()
+    return result
 
 
 class PartitionScheduler:
@@ -143,44 +169,85 @@ class PartitionScheduler:
         Edits *aig* in place and returns the pass telemetry.
         """
         start = time.perf_counter()
-        if windows is None:
-            windows = partition_network(aig, partition_config)
-        # Normalize every window against the (still unedited) network before
-        # snapshotting: refresh re-sorts the member nodes into topological
-        # order and recomputes the boundary, exactly as the serial engines
-        # did per window.  The node order matters beyond hygiene — the SOP
-        # engines' elimination cost is very sensitive to it.
-        windows = [w for w in (refresh_window(aig, w) for w in windows)
-                   if w is not None]
-        tasks = [extract_task(aig, w, i) for i, w in enumerate(windows)]
-        results, restarts = self._execute(engine, tasks, config)
-        report = ParallelReport(engine=engine, jobs=self.jobs,
-                                pool_restarts=restarts)
-        for window, task in zip(windows, tasks):
-            result = results.get(task.index)
-            if result is None:
-                result = _fallback_result(task, "missing-result")
-            report.records.append(
-                self._merge_window(aig, engine, window, task, result))
-        report.elapsed_s = time.perf_counter() - start
+        with obs.span(f"pass:{engine}", kind="pass", engine=engine,
+                      jobs=self.jobs) as pass_span:
+            if windows is None:
+                windows = partition_network(aig, partition_config)
+            # Normalize every window against the (still unedited) network
+            # before snapshotting: refresh re-sorts the member nodes into
+            # topological order and recomputes the boundary, exactly as the
+            # serial engines did per window.  The node order matters beyond
+            # hygiene — the SOP engines' elimination cost is very sensitive
+            # to it.
+            windows = [w for w in (refresh_window(aig, w) for w in windows)
+                       if w is not None]
+            tasks = [extract_task(aig, w, i) for i, w in enumerate(windows)]
+            results, restarts = self._execute(engine, tasks, config)
+            report = ParallelReport(engine=engine, jobs=self.jobs,
+                                    pool_restarts=restarts)
+            registry = obs.metrics()
+            for window, task in zip(windows, tasks):
+                result = results.get(task.index)
+                if result is None:
+                    result = _fallback_result(task, "missing-result")
+                # Worker metrics merge here, in partition order — the only
+                # order-dependent merge op is the gauge last-write, so the
+                # registry ends up identical for every jobs value.
+                registry.merge(result.payload.pop(OBS_PAYLOAD_KEY, None))
+                report.records.append(
+                    self._merge_window(aig, engine, window, task, result))
+            report.elapsed_s = time.perf_counter() - start
+            self._observe_report(report, pass_span)
         return report
+
+    @staticmethod
+    def _observe_report(report: ParallelReport, pass_span) -> None:
+        """Publish the pass outcome to the active observability session."""
+        if not obs.enabled():
+            return
+        registry = obs.metrics()
+        engine = report.engine
+        registry.inc("parallel.windows", report.num_windows, engine=engine)
+        registry.inc("parallel.applied", report.num_applied, engine=engine)
+        registry.inc("parallel.gain", report.total_gain, engine=engine)
+        if report.pool_restarts:
+            registry.inc("parallel.pool_restarts", report.pool_restarts,
+                         engine=engine)
+        for reason, count in sorted(report.fallback_reasons.items()):
+            registry.inc("parallel.fallback", count, engine=engine,
+                         reason=reason)
+        pass_span.set("windows", report.num_windows)
+        pass_span.set("applied", report.num_applied)
+        pass_span.set("gain", report.total_gain)
+        pass_span.set("pool_restarts", report.pool_restarts)
+        tracer = obs.tracer()
+        for r in report.records:
+            tracer.record(f"window[{r.index}]", kind="window",
+                          wall_s=r.wall_s, size=r.size, leaves=r.leaves,
+                          applied=r.applied, gain=r.gain,
+                          fallback=r.fallback)
+        obs.record_parallel_report(report)
 
     # -- execution -----------------------------------------------------------
 
     def _execute(self, engine: str, tasks: List[WindowTask], config: Any
                  ) -> Tuple[Dict[int, WindowResult], int]:
+        collect = obs.enabled()
         if self.jobs <= 1 or len(tasks) <= 1:
-            return ({t.index: run_window_task(engine, t, config)
+            return ({t.index: run_window_task(engine, t, config,
+                                              collect_metrics=collect)
                      for t in tasks}, 0)
-        return self._execute_pool(engine, tasks, config)
+        return self._execute_pool(engine, tasks, config, collect)
 
-    def _execute_pool(self, engine: str, tasks: List[WindowTask], config: Any
+    def _execute_pool(self, engine: str, tasks: List[WindowTask], config: Any,
+                      collect: bool = False
                       ) -> Tuple[Dict[int, WindowResult], int]:
         results: Dict[int, WindowResult] = {}
         pending = list(tasks)
         restarts = 0
         while pending:
-            pending = self._pool_round(engine, pending, config, results)
+            pending = self._pool_round(engine, pending, config, results,
+                                       collect)
             if pending:
                 restarts += 1
                 if restarts > self.max_pool_restarts:
@@ -191,7 +258,8 @@ class PartitionScheduler:
         return results, restarts
 
     def _pool_round(self, engine: str, tasks: List[WindowTask], config: Any,
-                    results: Dict[int, WindowResult]) -> List[WindowTask]:
+                    results: Dict[int, WindowResult],
+                    collect: bool = False) -> List[WindowTask]:
         """Run one process pool; return the tasks that must be retried.
 
         A worker *exception* is handled inside :func:`run_window_task` and
@@ -205,7 +273,7 @@ class PartitionScheduler:
                                    mp_context=self._mp_context())
         try:
             futures = [(task, pool.submit(run_window_task, engine, task,
-                                          config))
+                                          config, collect))
                        for task in tasks]
             for task, future in futures:
                 if broken:

@@ -30,6 +30,20 @@ class WindowRecord:
     #: engine counters reported by the worker (rewrites, bailouts, ...)
     payload: Dict[str, Any] = field(default_factory=dict)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe representation for the run report."""
+        return {
+            "index": self.index,
+            "engine": self.engine,
+            "size": self.size,
+            "leaves": self.leaves,
+            "wall_s": self.wall_s,
+            "applied": self.applied,
+            "gain": self.gain,
+            "fallback": self.fallback,
+            "payload": dict(self.payload),
+        }
+
 
 @dataclass
 class ParallelReport:
@@ -69,15 +83,22 @@ class ParallelReport:
 
     @property
     def worker_wall_s(self) -> float:
-        """Serial-equivalent runtime: sum of per-window worker wall times."""
+        """Sum of per-window worker wall times, fallbacks included."""
         return sum(r.wall_s for r in self.records)
 
     @property
+    def useful_worker_wall_s(self) -> float:
+        """Serial-equivalent runtime: worker wall times of the windows that
+        completed (a timed-out or crashed window's wall time is not work a
+        serial run would have kept, so counting it inflates the estimate)."""
+        return sum(r.wall_s for r in self.records if r.fallback is None)
+
+    @property
     def speedup(self) -> float:
-        """Realized speedup estimate (worker time / elapsed time)."""
+        """Realized speedup estimate (useful worker time / elapsed time)."""
         if self.elapsed_s <= 0.0:
             return 1.0
-        return self.worker_wall_s / self.elapsed_s
+        return self.useful_worker_wall_s / self.elapsed_s
 
     def counter(self, key: str) -> float:
         """Sum a numeric engine counter over every window payload."""
@@ -88,6 +109,24 @@ class ParallelReport:
                 total += value
         return total
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe representation for the run report (stable schema)."""
+        return {
+            "engine": self.engine,
+            "jobs": self.jobs,
+            "elapsed_s": self.elapsed_s,
+            "pool_restarts": self.pool_restarts,
+            "num_windows": self.num_windows,
+            "num_applied": self.num_applied,
+            "num_fallbacks": self.num_fallbacks,
+            "fallback_reasons": self.fallback_reasons,
+            "total_gain": self.total_gain,
+            "worker_wall_s": self.worker_wall_s,
+            "useful_worker_wall_s": self.useful_worker_wall_s,
+            "speedup": self.speedup,
+            "windows": [r.to_dict() for r in self.records],
+        }
+
     def format_report(self) -> str:
         """Human-readable summary table of the pass."""
         lines = [
@@ -97,7 +136,8 @@ class ParallelReport:
             f"fallbacks={self.num_fallbacks}  "
             f"pool_restarts={self.pool_restarts}",
             f"  elapsed={self.elapsed_s:.2f}s  "
-            f"worker_time={self.worker_wall_s:.2f}s  "
+            f"worker_time={self.worker_wall_s:.2f}s "
+            f"(useful {self.useful_worker_wall_s:.2f}s)  "
             f"speedup={self.speedup:.2f}x",
         ]
         reasons = self.fallback_reasons

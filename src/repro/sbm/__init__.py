@@ -21,7 +21,7 @@ from repro.sbm.config import (
     KernelConfig,
     MspfConfig,
 )
-from repro.sbm.flow import FlowStats, sbm_flow
+from repro.sbm.flow import FlowStats, StageRecord, sbm_flow
 from repro.sbm.gradient import GradientStats, gradient_optimize
 from repro.sbm.hetero_kernel import (
     KernelStats,
@@ -36,7 +36,7 @@ __all__ = [
     "gradient_optimize", "GradientStats",
     "hetero_kernel_pass", "homogeneous_kernel_pass", "KernelStats",
     "mspf_pass", "MspfStats",
-    "sbm_flow", "FlowStats",
+    "sbm_flow", "FlowStats", "StageRecord",
     "BooleanDifferenceConfig", "MspfConfig", "KernelConfig",
     "GradientConfig", "FlowConfig",
     "Move", "DEFAULT_MOVES",

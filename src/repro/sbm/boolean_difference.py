@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from repro import obs
 from repro.aig.aig import Aig, lit, lit_node
 from repro.bdd.manager import FALSE, BddManager
 from repro.bdd.to_aig import aig_window_to_bdds, bdd_to_aig
@@ -53,6 +54,28 @@ class BooleanDifferenceStats:
     gain: int = 0
     #: total BDD nodes allocated across partition managers (memory proxy)
     bdd_nodes_allocated: int = 0
+
+
+def publish_metrics(stats: BooleanDifferenceStats) -> None:
+    """Push one Boolean-difference run's counters into the active registry."""
+    registry = obs.metrics()
+    if not registry.enabled:
+        return
+    # Bailouts and the size-limit filter are reported even at zero — the
+    # absence of bailouts is itself what the report exists to show.
+    registry.inc("bdiff.bdd_bailouts", stats.bdd_bailouts)
+    registry.inc("bdiff.pairs_filtered_bdd_size",
+                 stats.pairs_filtered_bdd_size)
+    for name, value in (
+            ("pairs_tried", stats.pairs_tried),
+            ("pairs_filtered_support", stats.pairs_filtered_support),
+            ("pairs_filtered_inclusion", stats.pairs_filtered_inclusion),
+            ("pairs_filtered_saving", stats.pairs_filtered_saving),
+            ("bdd_nodes_allocated", stats.bdd_nodes_allocated),
+            ("rewrites", stats.rewrites),
+            ("gain", stats.gain)):
+        if value:
+            registry.inc(f"bdiff.{name}", value)
 
 
 def boolean_difference_pass(aig: Aig,
@@ -114,6 +137,7 @@ def optimize_subaig(sub: Aig,
         "rewrites": stats.rewrites,
         "gain": stats.gain,
     }
+    publish_metrics(stats)
     changed = stats.rewrites > 0
     return changed, (sub.cleanup() if changed else None), payload
 

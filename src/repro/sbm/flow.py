@@ -26,9 +26,11 @@ wide-cut refactoring pass.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.aig.aig import Aig
 from repro.opt.balance import balance
 from repro.opt.refactor import refactor
@@ -44,15 +46,41 @@ from repro.sbm.mspf import mspf_pass
 
 
 @dataclass
-class FlowStats:
-    """Sizes after every stage of the flow, for reporting and debugging."""
+class StageRecord:
+    """One flow-stage checkpoint: name, resulting size, elapsed seconds."""
 
-    stages: List[Tuple[str, int]] = field(default_factory=list)
+    name: str
+    size: int
+    elapsed_s: float = 0.0
+
+
+@dataclass
+class FlowStats:
+    """Size and timing after every stage of the flow."""
+
+    records: List[StageRecord] = field(default_factory=list)
     runtime_s: float = 0.0
 
-    def record(self, stage: str, size: int) -> None:
-        """Append a (stage name, network size) checkpoint."""
-        self.stages.append((stage, size))
+    def record(self, stage: str, size: int, elapsed_s: float = 0.0) -> None:
+        """Append a stage checkpoint (resulting size, elapsed seconds)."""
+        self.records.append(StageRecord(stage, size, elapsed_s))
+
+    @property
+    def stages(self) -> List[Tuple[str, int]]:
+        """Deprecated ``(name, size)`` tuple view; use :attr:`records`."""
+        warnings.warn(
+            "FlowStats.stages is deprecated; use FlowStats.records "
+            "(StageRecord objects with per-stage elapsed_s)",
+            DeprecationWarning, stacklevel=2)
+        return [(r.name, r.size) for r in self.records]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe representation for the run report."""
+        return {
+            "runtime_s": self.runtime_s,
+            "stages": [{"name": r.name, "size": r.size,
+                        "elapsed_s": r.elapsed_s} for r in self.records],
+        }
 
 
 def sbm_flow(aig: Aig, config: Optional[FlowConfig] = None) -> Tuple[Aig, FlowStats]:
@@ -63,23 +91,33 @@ def sbm_flow(aig: Aig, config: Optional[FlowConfig] = None) -> Tuple[Aig, FlowSt
     config = config or FlowConfig()
     stats = FlowStats()
     start = time.time()
-    original = aig.cleanup() if config.verify_each_step else None
-    best = aig.cleanup()
-    stats.record("initial", best.num_ands)
-    depth_limit = None
-    if config.max_depth_growth is not None:
-        depth_limit = max(1, int(best.depth * config.max_depth_growth))
-    current = best
-    for iteration in range(config.iterations):
-        effort_scale = iteration + 1
-        current = _one_iteration(current, config, stats, effort_scale,
-                                 depth_limit)
-        if config.verify_each_step:
-            assert_equivalent(original, current)
-        if current.num_ands < best.num_ands:
-            best = current.cleanup()
-    stats.runtime_s = time.time() - start
-    stats.record("final", best.num_ands)
+    with obs.span("flow", kind="flow", design=aig.name,
+                  iterations=config.iterations,
+                  jobs=config.jobs) as flow_span:
+        original = aig.cleanup() if config.verify_each_step else None
+        best = aig.cleanup()
+        stats.record("initial", best.num_ands)
+        flow_span.set("nodes_before", best.num_ands)
+        depth_limit = None
+        if config.max_depth_growth is not None:
+            depth_limit = max(1, int(best.depth * config.max_depth_growth))
+        current = best
+        for iteration in range(config.iterations):
+            effort_scale = iteration + 1
+            with obs.span(f"iteration[{effort_scale}]", kind="iteration",
+                          effort=effort_scale,
+                          nodes_before=current.num_ands) as it_span:
+                current = _one_iteration(current, config, stats, effort_scale,
+                                         depth_limit)
+                it_span.set("nodes_after", current.num_ands)
+            if config.verify_each_step:
+                assert_equivalent(original, current)
+            if current.num_ands < best.num_ands:
+                best = current.cleanup()
+        stats.runtime_s = time.time() - start
+        stats.record("final", best.num_ands)
+        flow_span.set("nodes_after", best.num_ands)
+    obs.record_flow_stats(stats)
     return best, stats
 
 
@@ -97,52 +135,90 @@ def _one_iteration(aig: Aig, config: FlowConfig, stats: FlowStats,
             return previous
         return candidate
 
+    def finish(span, stage: str, t0: float) -> None:
+        """Close out one stage: span node delta + FlowStats timing."""
+        span.set("nodes_after", aig.num_ands)
+        stats.record(f"{stage}[{effort}]", aig.num_ands,
+                     time.perf_counter() - t0)
+
     # 1. AIG optimization: baseline script + gradient engine.
+    t0 = time.perf_counter()
     before = aig
-    aig = guard(compress2rs_step(aig), before, "aig_script")
-    stats.record(f"aig_script[{effort}]", aig.num_ands)
+    with obs.span("aig_script", kind="stage", effort=effort,
+                  nodes_before=before.num_ands) as sp:
+        aig = guard(compress2rs_step(aig), before, "aig_script")
+        finish(sp, "aig_script", t0)
     gradient_cfg = GradientConfig(
         cost_budget=config.gradient.cost_budget * effort,
         window_k=config.gradient.window_k,
         min_gain_gradient=config.gradient.min_gain_gradient,
         budget_extension=config.gradient.budget_extension,
         partition=config.gradient.partition)
+    t0 = time.perf_counter()
     before = aig.cleanup()
-    gradient_optimize(aig, gradient_cfg)
-    aig = guard(aig.cleanup(), before, "gradient")
-    stats.record(f"gradient[{effort}]", aig.num_ands)
+    with obs.span("gradient", kind="stage", effort=effort,
+                  nodes_before=before.num_ands) as sp:
+        gradient_optimize(aig, gradient_cfg)
+        aig = guard(aig.cleanup(), before, "gradient")
+        finish(sp, "gradient", t0)
     # 2. Heterogeneous elimination for kernel extraction.
+    t0 = time.perf_counter()
     before = aig.cleanup()
-    hetero_kernel_pass(aig, config.kernel, jobs=config.jobs,
-                       window_timeout_s=config.window_timeout_s)
-    aig = guard(aig.cleanup(), before, "kernel")
-    stats.record(f"kernel[{effort}]", aig.num_ands)
+    with obs.span("kernel", kind="stage", effort=effort,
+                  nodes_before=before.num_ands) as sp:
+        hetero_kernel_pass(aig, config.kernel, jobs=config.jobs,
+                           window_timeout_s=config.window_timeout_s)
+        aig = guard(aig.cleanup(), before, "kernel")
+        finish(sp, "kernel", t0)
     # 3. Enhanced MSPF with BDDs.
+    t0 = time.perf_counter()
     before = aig.cleanup()
-    mspf_pass(aig, config.mspf, jobs=config.jobs,
-              window_timeout_s=config.window_timeout_s)
-    aig = guard(aig.cleanup(), before, "mspf")
-    stats.record(f"mspf[{effort}]", aig.num_ands)
+    with obs.span("mspf", kind="stage", effort=effort,
+                  nodes_before=before.num_ands) as sp:
+        mspf_pass(aig, config.mspf, jobs=config.jobs,
+                  window_timeout_s=config.window_timeout_s)
+        aig = guard(aig.cleanup(), before, "mspf")
+        finish(sp, "mspf", t0)
     # 4. Collapse + Boolean decomposition on reconvergent MFFCs.
+    t0 = time.perf_counter()
     before = aig.cleanup()
-    refactor(aig, max_leaves=10 + 2 * effort, min_gain=1)
-    aig = guard(aig.cleanup(), before, "collapse_decomp")
-    stats.record(f"collapse_decomp[{effort}]", aig.num_ands)
+    with obs.span("collapse_decomp", kind="stage", effort=effort,
+                  nodes_before=before.num_ands) as sp:
+        refactor(aig, max_leaves=10 + 2 * effort, min_gain=1)
+        aig = guard(aig.cleanup(), before, "collapse_decomp")
+        finish(sp, "collapse_decomp", t0)
     # 5. Boolean difference to escape local minima.
+    t0 = time.perf_counter()
     before = aig.cleanup()
-    boolean_difference_pass(aig, config.boolean_difference, jobs=config.jobs,
-                            window_timeout_s=config.window_timeout_s)
-    aig = guard(aig.cleanup(), before, "boolean_diff")
-    stats.record(f"boolean_diff[{effort}]", aig.num_ands)
+    with obs.span("boolean_diff", kind="stage", effort=effort,
+                  nodes_before=before.num_ands) as sp:
+        boolean_difference_pass(aig, config.boolean_difference,
+                                jobs=config.jobs,
+                                window_timeout_s=config.window_timeout_s)
+        aig = guard(aig.cleanup(), before, "boolean_diff")
+        finish(sp, "boolean_diff", t0)
     # 6. SAT sweeping and redundancy removal.
     if config.enable_sat_sweep:
-        sat_sweep(aig, max_proofs=2000)
-        aig = aig.cleanup()
-        stats.record(f"sat_sweep[{effort}]", aig.num_ands)
+        t0 = time.perf_counter()
+        with obs.span("sat_sweep", kind="stage", effort=effort,
+                      nodes_before=aig.num_ands) as sp:
+            merges = sat_sweep(aig, max_proofs=2000)
+            aig = aig.cleanup()
+            sp.set("merges", merges)
+            obs.metrics().inc("sat_sweep.merges", merges)
+            finish(sp, "sat_sweep", t0)
     if config.enable_redundancy_removal:
-        remove_redundancies(aig, max_checks=200)
-        aig = aig.cleanup()
-        stats.record(f"redundancy[{effort}]", aig.num_ands)
-    aig = balance(aig)
-    stats.record(f"balance[{effort}]", aig.num_ands)
+        t0 = time.perf_counter()
+        with obs.span("redundancy", kind="stage", effort=effort,
+                      nodes_before=aig.num_ands) as sp:
+            removed = remove_redundancies(aig, max_checks=200)
+            aig = aig.cleanup()
+            sp.set("removed", removed)
+            obs.metrics().inc("redundancy.removed", removed)
+            finish(sp, "redundancy", t0)
+    t0 = time.perf_counter()
+    with obs.span("balance", kind="stage", effort=effort,
+                  nodes_before=aig.num_ands) as sp:
+        aig = balance(aig)
+        finish(sp, "balance", t0)
     return aig

@@ -21,9 +21,11 @@ types compete locally on each partition).  The mechanics follow the paper:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.aig.aig import Aig
 from repro.partition.partitioner import PartitionConfig, Window, partition_network
 from repro.sbm.config import GradientConfig
@@ -69,61 +71,104 @@ def gradient_optimize(aig: Aig, config: Optional[GradientConfig] = None,
     max_unlocked_cost = 1  # start with unit-cost moves
     size_at_start = max(1, aig.num_ands)
 
-    while stats.cost_spent < budget:
-        partitions = _partitions(aig, config)
-        if not partitions:
-            break
-        sweep_gain = 0
-        for window in partitions:
-            if stats.cost_spent >= budget:
+    with obs.span("gradient_engine", kind="engine", selection=selection,
+                  nodes_before=aig.num_ands) as engine_span:
+        while stats.cost_spent < budget:
+            partitions = _partitions(aig, config)
+            if not partitions:
                 break
-            admissible = [m for m in moves if m.cost <= max_unlocked_cost]
-            # Adaptive priority: cheap first, then observed success rate.
-            admissible.sort(key=lambda m: (m.cost, -stats.success_rate(m.name)))
-            if selection == "waterfall":
-                gain = _waterfall(aig, window, admissible, stats)
-            else:
-                gain = _parallel(aig, window, admissible, stats)
-            sweep_gain += gain
-            stats.gain_history.append(gain)
-            # Gradient bookkeeping over the last k move applications.
-            k = config.window_k
-            if len(stats.gain_history) >= k:
-                recent = sum(stats.gain_history[-k:])
-                gradient = recent / size_at_start
-                if gradient == 0:
-                    stats.terminated_early = True
-                    return stats
-                if (gradient > config.min_gain_gradient
-                        and stats.cost_spent > budget - 10):
-                    budget += config.budget_extension
-                    stats.budget_extensions += 1
-        if sweep_gain == 0:
-            if max_unlocked_cost >= max(m.cost for m in moves):
-                break  # full local minimum
-            # Local minimum with the current move set: unlock costlier moves.
-            max_unlocked_cost = min(m.cost for m in moves
-                                    if m.cost > max_unlocked_cost)
+            sweep_gain = 0
+            with obs.span("sweep", kind="sweep", windows=len(partitions),
+                          unlocked_cost=max_unlocked_cost) as sweep_span:
+                for window in partitions:
+                    if stats.cost_spent >= budget:
+                        break
+                    admissible = [m for m in moves
+                                  if m.cost <= max_unlocked_cost]
+                    # Adaptive priority: cheap first, then observed success
+                    # rate.
+                    admissible.sort(
+                        key=lambda m: (m.cost, -stats.success_rate(m.name)))
+                    if selection == "waterfall":
+                        gain = _waterfall(aig, window, admissible, stats)
+                    else:
+                        gain = _parallel(aig, window, admissible, stats)
+                    sweep_gain += gain
+                    stats.gain_history.append(gain)
+                    # Gradient bookkeeping over the last k move applications.
+                    k = config.window_k
+                    if len(stats.gain_history) >= k:
+                        recent = sum(stats.gain_history[-k:])
+                        gradient = recent / size_at_start
+                        if gradient == 0:
+                            stats.terminated_early = True
+                            sweep_span.set("gain", sweep_gain)
+                            _publish_gradient(engine_span, stats, aig,
+                                              size_at_start, budget)
+                            obs.metrics().inc("gradient.early_terminations")
+                            return stats
+                        if (gradient > config.min_gain_gradient
+                                and stats.cost_spent > budget - 10):
+                            budget += config.budget_extension
+                            stats.budget_extensions += 1
+                            obs.metrics().inc("gradient.budget_extensions")
+                sweep_span.set("gain", sweep_gain)
+                sweep_span.set("cost_spent", stats.cost_spent)
+            if sweep_gain == 0:
+                if max_unlocked_cost >= max(m.cost for m in moves):
+                    break  # full local minimum
+                # Local minimum with the current move set: unlock costlier
+                # moves.
+                max_unlocked_cost = min(m.cost for m in moves
+                                        if m.cost > max_unlocked_cost)
+                obs.metrics().inc("gradient.cost_unlocks")
+            stats.total_gain = size_at_start - aig.num_ands
         stats.total_gain = size_at_start - aig.num_ands
-    stats.total_gain = size_at_start - aig.num_ands
+        _publish_gradient(engine_span, stats, aig, size_at_start, budget)
     return stats
+
+
+def _publish_gradient(engine_span, stats: GradientStats, aig: Aig,
+                      size_at_start: int, budget: int) -> None:
+    """Engine-run summary: span attributes + registry counters."""
+    engine_span.set("nodes_after", aig.num_ands)
+    engine_span.set("cost_spent", stats.cost_spent)
+    engine_span.set("total_gain", size_at_start - aig.num_ands)
+    registry = obs.metrics()
+    registry.inc("gradient.cost_spent", stats.cost_spent)
+    registry.set_gauge("gradient.final_budget", budget)
 
 
 def _waterfall(aig: Aig, window: Window, admissible: List[Move],
                stats: GradientStats) -> int:
     """Try moves in order; keep the first that improves the partition."""
-    for move in admissible:
-        if all(aig.is_dead(n) for n in window.nodes):
-            return 0
-        stats.moves_tried += 1
-        stats.cost_spent += move.cost
-        stats.move_attempts[move.name] = stats.move_attempts.get(move.name, 0) + 1
-        gain = move.apply(aig, window)
-        if gain > 0:
-            stats.moves_succeeded += 1
-            stats.move_success[move.name] = stats.move_success.get(move.name, 0) + 1
-            stats.total_gain += 0  # recomputed at sweep end
-            return gain
+    registry = obs.metrics()
+    with obs.span("window", kind="window",
+                  size=len(window.nodes)) as window_span:
+        for move in admissible:
+            if all(aig.is_dead(n) for n in window.nodes):
+                return 0
+            stats.moves_tried += 1
+            stats.cost_spent += move.cost
+            stats.move_attempts[move.name] = (
+                stats.move_attempts.get(move.name, 0) + 1)
+            registry.inc("gradient.moves_tried", move=move.name)
+            t0 = time.perf_counter()
+            gain = move.apply(aig, window)
+            if gain > 0:
+                stats.moves_succeeded += 1
+                stats.move_success[move.name] = (
+                    stats.move_success.get(move.name, 0) + 1)
+                stats.total_gain += 0  # recomputed at sweep end
+                registry.inc("gradient.moves_succeeded", move=move.name)
+                registry.inc("gradient.gain", gain, move=move.name)
+                obs.tracer().record("move", kind="move",
+                                    wall_s=time.perf_counter() - t0,
+                                    move=move.name, cost=move.cost,
+                                    gain=gain)
+                window_span.set("winner", move.name)
+                window_span.set("gain", gain)
+                return gain
     return 0
 
 
@@ -135,11 +180,13 @@ def _parallel(aig: Aig, window: Window, admissible: List[Move],
     nothing but costs one full-network clone per move, so it is only
     practical on small networks (the ablation uses it there).
     """
+    registry = obs.metrics()
     best_move = None
     best_gain = 0
     for move in admissible:
         stats.moves_tried += 1
         stats.cost_spent += move.cost
+        registry.inc("gradient.moves_tried", move=move.name)
         stats.move_attempts[move.name] = stats.move_attempts.get(move.name, 0) + 1
         scratch, mapping = aig.cleanup_with_map()
         from repro.aig.aig import lit_node
@@ -161,6 +208,8 @@ def _parallel(aig: Aig, window: Window, admissible: List[Move],
         stats.moves_succeeded += 1
         stats.move_success[best_move.name] = (
             stats.move_success.get(best_move.name, 0) + 1)
+        registry.inc("gradient.moves_succeeded", move=best_move.name)
+        registry.inc("gradient.gain", gain, move=best_move.name)
     return gain
 
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro import obs
 from repro.aig.aig import Aig
 from repro.opt.balance import balance
 from repro.parallel.scheduler import register_engine
@@ -46,6 +47,20 @@ class KernelStats:
     def __post_init__(self) -> None:
         if self.threshold_wins is None:
             self.threshold_wins = {}
+
+
+def publish_metrics(stats: KernelStats) -> None:
+    """Push one kernel run's counters into the active metrics registry."""
+    registry = obs.metrics()
+    if not registry.enabled:
+        return
+    for name, value in (("partitions_improved", stats.partitions_improved),
+                        ("literal_saving", stats.literal_saving),
+                        ("node_gain", stats.node_gain)):
+        if value:
+            registry.inc(f"kernel.{name}", value)
+    for threshold, wins in stats.threshold_wins.items():
+        registry.inc("kernel.threshold_win", wins, threshold=threshold)
 
 
 def hetero_kernel_pass(aig: Aig, config: Optional[KernelConfig] = None,
@@ -94,6 +109,10 @@ def optimize_subaig(sub: Aig, config: Optional[KernelConfig] = None):
     threshold, optimized, saving = best
     if optimized.num_ands >= sub.num_ands:
         return False, None, {}  # not an improvement at the AIG level
+    registry = obs.metrics()
+    registry.inc("kernel.threshold_win", threshold=threshold)
+    if saving:
+        registry.inc("kernel.literal_saving", saving)
     return True, optimized, {"threshold": threshold,
                              "literal_saving": saving}
 

@@ -62,6 +62,7 @@ def _mspf_low(aig: Aig, window: Window) -> int:
     stats = mspf_mod.MspfStats()
     config = MspfConfig(max_connectable_fanins=4)
     mspf_mod.optimize_partition(aig, window, config, stats)
+    mspf_mod.publish_metrics(stats)
     return stats.gain
 
 
@@ -69,6 +70,7 @@ def _mspf_high(aig: Aig, window: Window) -> int:
     stats = mspf_mod.MspfStats()
     config = MspfConfig(max_connectable_fanins=12)
     mspf_mod.optimize_partition(aig, window, config, stats)
+    mspf_mod.publish_metrics(stats)
     return stats.gain
 
 
@@ -76,6 +78,7 @@ def _kernel_low(aig: Aig, window: Window) -> int:
     stats = hetero_kernel.KernelStats()
     config = KernelConfig(eliminate_thresholds=(-1, 5, 50), kernel_rounds=8)
     hetero_kernel.optimize_partition(aig, window, config, stats)
+    hetero_kernel.publish_metrics(stats)
     return stats.node_gain
 
 
@@ -83,6 +86,7 @@ def _kernel_high(aig: Aig, window: Window) -> int:
     stats = hetero_kernel.KernelStats()
     config = KernelConfig()
     hetero_kernel.optimize_partition(aig, window, config, stats)
+    hetero_kernel.publish_metrics(stats)
     return stats.node_gain
 
 

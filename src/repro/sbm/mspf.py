@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.aig.aig import Aig, lit, lit_node
 from repro.bdd.manager import FALSE, TRUE, BddManager
 from repro.bdd.to_aig import aig_window_to_bdds
@@ -44,6 +45,29 @@ class MspfStats:
     connectable_found: int = 0
     rewrites: int = 0
     gain: int = 0
+
+
+def publish_metrics(stats: MspfStats) -> None:
+    """Push one MSPF run's counters into the active metrics registry.
+
+    Called from the worker entry point (against the worker's local
+    registry, shipped back in the window payload) and from the gradient
+    moves that run MSPF inline (against the parent registry), so
+    ``mspf.*`` counters aggregate every MSPF execution of the run.
+    """
+    registry = obs.metrics()
+    if not registry.enabled:
+        return
+    # Bailouts are reported even at zero — "no bailout happened" is itself
+    # the answer the report exists to give.
+    registry.inc("mspf.bdd_bailouts", stats.bdd_bailouts)
+    for name, value in (("nodes_processed", stats.nodes_processed),
+                        ("mspf_nonzero", stats.mspf_nonzero),
+                        ("connectable_found", stats.connectable_found),
+                        ("rewrites", stats.rewrites),
+                        ("gain", stats.gain)):
+        if value:
+            registry.inc(f"mspf.{name}", value)
 
 
 def mspf_pass(aig: Aig, config: Optional[MspfConfig] = None, jobs: int = 1,
@@ -96,6 +120,7 @@ def optimize_subaig(sub: Aig, config: Optional[MspfConfig] = None):
         "rewrites": stats.rewrites,
         "gain": stats.gain,
     }
+    publish_metrics(stats)
     changed = stats.rewrites > 0
     return changed, (sub.cleanup() if changed else None), payload
 

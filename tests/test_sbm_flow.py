@@ -29,7 +29,7 @@ def test_input_not_modified(small_mult):
 def test_stage_checkpoints_recorded(random_aig_factory):
     aig = random_aig_factory(8, 120, seed=1)
     _optimized, stats = sbm_flow(aig, FlowConfig(iterations=1))
-    names = [name for name, _size in stats.stages]
+    names = [record.name for record in stats.records]
     assert names[0] == "initial"
     assert names[-1] == "final"
     assert any("gradient" in n for n in names)
@@ -37,6 +37,8 @@ def test_stage_checkpoints_recorded(random_aig_factory):
     assert any("boolean_diff" in n for n in names)
     assert any("kernel" in n for n in names)
     assert stats.runtime_s > 0
+    assert any(r.elapsed_s > 0 for r in stats.records)
+    assert sum(r.elapsed_s for r in stats.records) <= stats.runtime_s
 
 
 def test_two_iterations_not_worse_than_one(random_aig_factory):
@@ -59,4 +61,4 @@ def test_redundancy_removal_stage(random_aig_factory):
     config = FlowConfig(iterations=1, enable_redundancy_removal=True)
     optimized, stats = sbm_flow(aig, config)
     assert_equivalent(aig, optimized)
-    assert any("redundancy" in name for name, _ in stats.stages)
+    assert any("redundancy" in r.name for r in stats.records)

@@ -85,4 +85,4 @@ class TestLevelDiscipline:
     def test_no_budget_means_no_rollbacks(self, random_aig_factory):
         aig = random_aig_factory(8, 120, seed=6)
         _optimized, stats = sbm_flow(aig, FlowConfig(iterations=1))
-        assert not any("rolled_back" in name for name, _ in stats.stages)
+        assert not any("rolled_back" in r.name for r in stats.records)
