@@ -22,6 +22,19 @@ Options
 ``--trace-jsonl PATH``   stream every span to a JSONL event sink
 ``--report-json PATH``   write the machine-readable run report (stable
                          schema; validate with ``python -m repro.obs.report``)
+``--timeout S``          flow wall-clock budget in seconds: stages degrade
+                         to reduced effort when behind schedule and are
+                         skipped once the budget is gone (``repro.guard``)
+``--checkpoint-dir DIR`` crash-safe checkpoint after every flow stage
+``--resume DIR``         resume an interrupted ``optimize`` run from its
+                         checkpoint directory
+``--chaos SEED``         inject deterministic faults (worker crashes,
+                         window timeouts, corrupt results, BDD limits)
+                         drawn from SEED — the fault-injection harness
+``--chaos-interrupt N``  with ``--chaos``: kill the flow right after the
+                         checkpoint of global stage N (exit status 3), a
+                         deterministic stand-in for ``kill -9`` used by
+                         the resume-after-interrupt CI check
 
 ``optimize`` also accepts a benchmark name from the registry, e.g.
 ``python -m repro optimize router --trace --report-json out.json``.
@@ -94,22 +107,76 @@ def _extract_obs(args: List[str]) -> Tuple[List[str], bool, Optional[str],
     return args, trace, jsonl, report
 
 
+def _extract_guard(args: List[str]):
+    """Strip the repro.guard flags; returns (args, GuardOptions)."""
+    args, timeout = _extract_value_flag(args, "--timeout")
+    args, checkpoint_dir = _extract_value_flag(args, "--checkpoint-dir")
+    args, resume = _extract_value_flag(args, "--resume")
+    args, chaos_interrupt = _extract_value_flag(args, "--chaos-interrupt")
+    args, chaos = _extract_value_flag(args, "--chaos")
+    timeout_s: Optional[float] = None
+    if timeout is not None:
+        try:
+            timeout_s = float(timeout)
+        except ValueError:
+            raise SystemExit(
+                f"--timeout expects seconds, got {timeout!r}") from None
+        if timeout_s <= 0:
+            raise SystemExit("--timeout must be positive")
+    chaos_seed: Optional[int] = None
+    if chaos is not None:
+        try:
+            chaos_seed = int(chaos)
+        except ValueError:
+            raise SystemExit(
+                f"--chaos expects an integer seed, got {chaos!r}") from None
+    interrupt_after: Optional[int] = None
+    if chaos_interrupt is not None:
+        if chaos_seed is None:
+            raise SystemExit("--chaos-interrupt requires --chaos SEED")
+        try:
+            interrupt_after = int(chaos_interrupt)
+        except ValueError:
+            raise SystemExit(f"--chaos-interrupt expects a stage index, "
+                             f"got {chaos_interrupt!r}") from None
+    return args, GuardOptions(timeout_s=timeout_s,
+                              checkpoint_dir=checkpoint_dir,
+                              resume=resume, chaos_seed=chaos_seed,
+                              interrupt_after=interrupt_after)
+
+
+class GuardOptions:
+    """Parsed ``repro.guard`` CLI flags."""
+
+    def __init__(self, timeout_s: Optional[float] = None,
+                 checkpoint_dir: Optional[str] = None,
+                 resume: Optional[str] = None,
+                 chaos_seed: Optional[int] = None,
+                 interrupt_after: Optional[int] = None) -> None:
+        self.timeout_s = timeout_s
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
+        self.chaos_seed = chaos_seed
+        self.interrupt_after = interrupt_after
+
+
 def main(argv=None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     args, jobs = _extract_jobs(args)
     args, trace, trace_jsonl, report_json = _extract_obs(args)
+    args, guard_opts = _extract_guard(args)
     if not args:
         print(__doc__)
         return 1
     command, rest = args[0], args[1:]
     observe = trace or trace_jsonl is not None or report_json is not None
     if not observe:
-        return _dispatch(command, rest, jobs)
+        return _dispatch(command, rest, jobs, guard_opts)
     from repro import obs
     from repro.obs.report import build_report, write_report
     session = obs.enable(jsonl_path=trace_jsonl)
     try:
-        status = _dispatch(command, rest, jobs)
+        status = _dispatch(command, rest, jobs, guard_opts)
     finally:
         obs.disable()
     if trace:
@@ -125,9 +192,41 @@ def main(argv=None) -> int:
     return status
 
 
-def _dispatch(command: str, rest: List[str], jobs: int) -> int:
+def _guard_summary(stats) -> str:
+    """One-line ``repro.guard`` summary for a finished flow, or ''."""
+    guard = getattr(stats, "guard", None)
+    if guard is None:
+        return ""
+    parts = []
+    if guard.degradations:
+        parts.append(f"degraded={guard.degradations}")
+    if guard.skips:
+        parts.append(f"skipped={guard.skips}")
+    if guard.rollbacks:
+        parts.append(f"rollbacks={guard.rollbacks}")
+    if guard.checkpoints:
+        parts.append(f"checkpoints={guard.checkpoints}")
+    if guard.faults:
+        parts.append(f"faults={len(guard.faults)}")
+    if guard.resumed_from is not None:
+        parts.append(f"resumed_from=stage#{guard.resumed_from}")
+    return f"guard : {' '.join(parts)}" if parts else ""
+
+
+def _dispatch(command: str, rest: List[str], jobs: int,
+              guard_opts: Optional[GuardOptions] = None) -> int:
     from repro.sbm.config import FlowConfig
-    flow_config = FlowConfig(iterations=1, jobs=jobs)
+    guard_opts = guard_opts or GuardOptions()
+    chaos_plan = None
+    if guard_opts.chaos_seed is not None:
+        from repro.guard.chaos import FaultPlan
+        chaos_plan = FaultPlan(seed=guard_opts.chaos_seed,
+                               interrupt_after=guard_opts.interrupt_after)
+    flow_config = FlowConfig(iterations=1, jobs=jobs,
+                             flow_timeout_s=guard_opts.timeout_s,
+                             checkpoint_dir=guard_opts.checkpoint_dir,
+                             chaos=chaos_plan,
+                             verify_each_step=chaos_plan is not None)
     if command == "fig1":
         from repro.experiments.fig1 import format_result, run_fig1
         print(format_result(run_fig1()))
@@ -164,13 +263,36 @@ def _dispatch(command: str, rest: List[str], jobs: int) -> int:
         else:
             aig = read_aag(rest[0])
         print(f"input : {aig.stats()}")
-        optimized, stats = sbm_flow(aig, flow_config)
-        ok, _ = check_equivalence(aig, optimized)
+        from repro.errors import EquivalenceError
+        from repro.guard.chaos import ChaosInterrupt
+        try:
+            optimized, stats = sbm_flow(aig, flow_config,
+                                        resume_from=guard_opts.resume)
+        except EquivalenceError as exc:
+            print(f"EQUIVALENCE FAILURE: {exc}")
+            if exc.cex is not None:
+                bits = "".join("1" if b else "0" for b in exc.cex)
+                print(f"counterexample: PO {exc.po_name or exc.po_index} "
+                      f"differs under PI assignment {bits}")
+            return 1
+        except ChaosInterrupt as exc:
+            print(f"chaos: interrupted after stage #{exc.stage_index}; "
+                  f"resume with --resume {exc.checkpoint_dir}")
+            return 3
+        ok, cex = check_equivalence(aig, optimized)
         print(f"output: {optimized.stats()}  verified={ok}  "
               f"({stats.runtime_s:.1f}s)")
+        if not ok and cex is not None:
+            bits = "".join("1" if b else "0" for b in cex)
+            print(f"counterexample: PI assignment {bits}")
+        summary = _guard_summary(stats)
+        if summary:
+            print(summary)
         if len(rest) > 1:
             write_aag(optimized, rest[1])
             print(f"written to {rest[1]}")
+        if not ok:
+            return 1
     elif command == "bench":
         from repro.bench.registry import benchmark_names, get_benchmark
         names = rest or benchmark_names()

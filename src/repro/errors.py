@@ -22,5 +22,27 @@ class SatError(ReproError):
     """Raised on malformed CNF input or solver misuse."""
 
 
+class EquivalenceError(ReproError, AssertionError):
+    """Two networks that must be equivalent miscompare.
+
+    Carries the evidence: ``cex`` is the primary-input assignment (list of
+    bools, PI order) under which the networks differ, ``po_index`` /
+    ``po_name`` identify the first miscomparing primary output.
+    ``AssertionError`` stays in the bases for callers that still catch the
+    historical failure type of :func:`repro.sat.equivalence.assert_equivalent`.
+    """
+
+    def __init__(self, message: str, cex=None, po_index=None, po_name=None):
+        super().__init__(message)
+        self.cex = cex
+        self.po_index = po_index
+        self.po_name = po_name
+
+
+class CheckpointError(ReproError):
+    """Raised when a flow checkpoint is missing, corrupt, or incompatible
+    with the network/configuration it is being resumed against."""
+
+
 class BenchmarkError(ReproError):
     """Raised when a benchmark generator receives unsupported parameters."""

@@ -1,0 +1,77 @@
+"""Hardened flow execution: budgets, equivalence guard, checkpoints, chaos.
+
+The paper's whole pitch is *bounded* Boolean methods — BDD size caps, MSPF
+memory bailouts, partition windows.  ``repro.guard`` extends that
+philosophy from the engines to the orchestrator, so a production run
+degrades gracefully, never corrupts, and always resumes:
+
+* :mod:`repro.guard.budget` — :class:`DeadlineManager` gives every stage a
+  share of a flow-level wall-clock budget and a degradation ladder
+  (full → reduced → skip) instead of a hang or a hard kill,
+* :mod:`repro.guard.stage_guard` — :class:`StageGuard` verifies every
+  stage with a 256-pattern random-simulation fast check then SAT CEC, and
+  rolls back to the last verified network on miscompare,
+* :mod:`repro.guard.checkpoint` — atomic write-then-rename AIGER + state
+  snapshots after each verified stage; ``sbm_flow(..., resume_from=dir)``
+  continues a ``kill -9``'d run from the last good network,
+* :mod:`repro.guard.chaos` — :class:`FaultPlan`, a seeded deterministic
+  fault-injection harness (worker crashes, window timeouts, corrupt
+  results, forced BDD bailouts) threaded through the partition scheduler
+  and the stage runner.
+
+The flow (:func:`repro.sbm.flow.sbm_flow`) drives all four through
+``FlowConfig`` (``flow_timeout_s``, ``verify_each_step``,
+``checkpoint_dir``, ``chaos``); what happened lands in
+:class:`~repro.guard.stage_guard.GuardReport`, embedded in the
+``repro.obs`` run report (schema v2, ``guard`` key).
+"""
+
+from repro.guard.budget import (
+    FULL,
+    REDUCED,
+    SKIP,
+    DeadlineManager,
+    StagePlan,
+)
+from repro.guard.chaos import (
+    FAULT_KINDS,
+    ChaosInterrupt,
+    FaultPlan,
+    corrupt_window_result,
+    in_worker_process,
+)
+from repro.guard.checkpoint import (
+    CheckpointState,
+    CheckpointStore,
+    ResumePoint,
+    atomic_write_text,
+    load_checkpoint,
+)
+from repro.guard.stage_guard import (
+    DEFAULT_PATTERNS,
+    GuardEvent,
+    GuardReport,
+    StageGuard,
+)
+
+__all__ = [
+    "CheckpointState",
+    "CheckpointStore",
+    "ChaosInterrupt",
+    "DEFAULT_PATTERNS",
+    "DeadlineManager",
+    "FAULT_KINDS",
+    "FULL",
+    "FaultPlan",
+    "GuardEvent",
+    "GuardReport",
+    "REDUCED",
+    "ResumePoint",
+    "SKIP",
+    "StageGuard",
+    "StagePlan",
+    "atomic_write_text",
+    "corrupt_window_result",
+    "in_worker_process",
+    "load_checkpoint",
+]

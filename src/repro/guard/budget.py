@@ -1,0 +1,145 @@
+"""Stage wall-clock budgets with a graceful degradation ladder.
+
+The paper's engines are individually *bounded* (BDD node caps, partition
+windows, gradient cost budgets), but the flow that strings them together
+had no time discipline: one pathological stage could stall an entire EPFL
+run.  Following DAG-aware synthesis orchestration (Li et al.), the
+*orchestrator* owns the budget policy: a :class:`DeadlineManager` splits a
+flow-level wall-clock budget (``FlowConfig.flow_timeout_s``, CLI
+``--timeout``) across the remaining stages and answers, before each stage,
+at which rung of the degradation ladder it should run:
+
+* :data:`FULL` — the configured effort,
+* :data:`REDUCED` — cheaper knobs (fewer kernel thresholds, smaller MSPF
+  partitions, halved budgets) chosen per stage by the flow,
+* :data:`SKIP` — the stage does not run at all.
+
+The policy is deliberately simple and deterministic given a clock: a stage
+is *skipped* once the budget is exhausted, and *reduced* when the fraction
+of budget spent runs ahead of the fraction of stages completed by more
+than ``degrade_margin``.  Every downgrade is recorded (and surfaces in the
+run report via :class:`repro.guard.stage_guard.GuardReport`), so a
+degraded run is always distinguishable from a full-effort one.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+#: Degradation-ladder rungs, in decreasing effort order.
+FULL = 0
+REDUCED = 1
+SKIP = 2
+
+LEVEL_NAMES = ("full", "reduced", "skip")
+
+
+@dataclass
+class StagePlan:
+    """The budget verdict for one upcoming stage."""
+
+    stage: str
+    level: int                       #: FULL, REDUCED, or SKIP
+    remaining_s: Optional[float]     #: budget left (None = unbounded)
+    share_s: Optional[float]         #: fair share for this stage
+
+    @property
+    def level_name(self) -> str:
+        """Human name of the ladder rung."""
+        return LEVEL_NAMES[self.level]
+
+
+class DeadlineManager:
+    """Split one flow-level wall-clock budget across the remaining stages.
+
+    Parameters
+    ----------
+    budget_s:
+        Total wall-clock budget for every stage still to run; ``None``
+        disables all time discipline (every plan is :data:`FULL`).
+    total_stages:
+        How many stages will ask for a plan.
+    clock:
+        Monotonic-time source; injectable for deterministic tests.
+    degrade_margin:
+        How far (as a fraction of the budget) time spent may run ahead of
+        stages completed before stages degrade to :data:`REDUCED`.
+    """
+
+    def __init__(self, budget_s: Optional[float], total_stages: int,
+                 clock: Callable[[], float] = time.monotonic,
+                 degrade_margin: float = 0.15) -> None:
+        if budget_s is not None and budget_s <= 0:
+            raise ValueError(f"budget_s must be positive, got {budget_s}")
+        self.budget_s = budget_s
+        self.total_stages = max(1, total_stages)
+        self.degrade_margin = degrade_margin
+        self._clock = clock
+        self._start = clock()
+        self._done = 0
+        #: every non-FULL verdict, in planning order
+        self.downgrades: List[StagePlan] = []
+
+    # -- queries -------------------------------------------------------------
+
+    def elapsed_s(self) -> float:
+        """Wall-clock seconds since the manager was created."""
+        return self._clock() - self._start
+
+    def remaining_s(self) -> Optional[float]:
+        """Budget left, or ``None`` when unbounded (never negative)."""
+        if self.budget_s is None:
+            return None
+        return max(0.0, self.budget_s - self.elapsed_s())
+
+    @property
+    def stages_done(self) -> int:
+        """Stages planned so far (skipped stages count as done)."""
+        return self._done
+
+    # -- policy --------------------------------------------------------------
+
+    def plan(self, stage: str) -> StagePlan:
+        """Decide the degradation level for the next stage.
+
+        Call exactly once per stage, in execution order; the verdict also
+        advances the internal progress counter via :meth:`finish`.
+        """
+        if self.budget_s is None:
+            return StagePlan(stage, FULL, None, None)
+        remaining = self.remaining_s()
+        stages_left = max(1, self.total_stages - self._done)
+        share = remaining / stages_left
+        if remaining <= 0.0:
+            verdict = StagePlan(stage, SKIP, remaining, share)
+        else:
+            time_frac = self.elapsed_s() / self.budget_s
+            work_frac = self._done / self.total_stages
+            level = REDUCED if time_frac - work_frac > self.degrade_margin \
+                else FULL
+            verdict = StagePlan(stage, level, remaining, share)
+        if verdict.level != FULL:
+            self.downgrades.append(verdict)
+        return verdict
+
+    def finish(self, stage: str) -> None:
+        """Mark one planned stage as completed (or skipped)."""
+        self._done += 1
+
+    # -- reporting -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe summary for the run report."""
+        return {
+            "budget_s": self.budget_s,
+            "elapsed_s": self.elapsed_s(),
+            "total_stages": self.total_stages,
+            "stages_done": self._done,
+            "downgrades": [
+                {"stage": p.stage, "level": p.level_name,
+                 "remaining_s": p.remaining_s}
+                for p in self.downgrades
+            ],
+        }

@@ -1,0 +1,215 @@
+"""Crash-safe checkpoint/resume for the SBM flow.
+
+After every verified stage the flow snapshots its complete state into a
+checkpoint directory: the current network and the best-so-far network,
+plus a JSON state record (stage cursor, depth limit, stage records,
+consumed runtime).  Every file is written **write-then-rename** (temp
+file, flush, ``os.fsync``, ``os.replace``), and ``state.json`` is written
+*last* — it is the commit point, so a ``kill -9`` at any instant leaves
+either the previous consistent checkpoint or the new one, never a torn
+mix.
+
+Networks are stored in two forms: the :class:`~repro.parallel.window_io
+.CompactAig` JSON encoding (``network.json``/``best.json``) — the form
+resume actually loads, because it round-trips the graph *node-for-node*
+(the AIGER writer renumbers nodes, which would nudge the order-sensitive
+engines onto a different optimization path) — and ASCII AIGER exports
+(``network.aag``/``best.aag``) for interoperability with external tools.
+
+Resuming (``sbm_flow(..., resume_from=dir)``, CLI ``--resume``) loads the
+latest committed checkpoint, restores the networks and stage records, and
+skips every stage whose global index is below the stored cursor.  Because
+all stages are deterministic functions of the network and configuration,
+an interrupted-then-resumed run produces the same final network as an
+uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.aig.aig import Aig
+from repro.aig.io_aiger import write_aag_string
+from repro.errors import CheckpointError
+
+SCHEMA_NAME = "repro.guard/checkpoint"
+SCHEMA_VERSION = 1
+
+STATE_FILE = "state.json"
+NETWORK_FILE = "network.json"
+BEST_FILE = "best.json"
+NETWORK_EXPORT = "network.aag"
+BEST_EXPORT = "best.aag"
+
+
+def _encode_network(aig: Aig) -> str:
+    """Structure-preserving JSON encoding of *aig* (CompactAig layout)."""
+    from repro.parallel.window_io import CompactAig
+    compact = CompactAig.from_aig(aig)
+    return json.dumps({"num_pis": compact.num_pis,
+                       "gates": [list(gate) for gate in compact.gates],
+                       "outputs": list(compact.outputs),
+                       "name": compact.name}) + "\n"
+
+
+def _decode_network(text: str) -> Aig:
+    """Rebuild a network encoded by :func:`_encode_network`."""
+    from repro.parallel.window_io import CompactAig
+    data = json.loads(text)
+    compact = CompactAig(num_pis=int(data["num_pis"]),
+                         gates=[tuple(gate) for gate in data["gates"]],
+                         outputs=list(data["outputs"]),
+                         name=str(data.get("name", "")))
+    return compact.to_aig()
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write *text* to *path* via temp-file + fsync + atomic rename."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory,
+                               prefix=os.path.basename(path) + ".",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+@dataclass
+class CheckpointState:
+    """The JSON-serializable part of one checkpoint."""
+
+    next_index: int                 #: global index of the next stage to run
+    iteration: int                  #: iteration the checkpointed stage was in
+    stage: str                      #: name of the last completed stage
+    total_stages: int               #: stage count of the producing config
+    design: str
+    num_pis: int
+    num_pos: int
+    depth_limit: Optional[int] = None
+    runtime_s: float = 0.0          #: flow runtime consumed before the save
+    records: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA_NAME,
+            "version": SCHEMA_VERSION,
+            "next_index": self.next_index,
+            "iteration": self.iteration,
+            "stage": self.stage,
+            "total_stages": self.total_stages,
+            "design": self.design,
+            "num_pis": self.num_pis,
+            "num_pos": self.num_pos,
+            "depth_limit": self.depth_limit,
+            "runtime_s": self.runtime_s,
+            "records": self.records,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CheckpointState":
+        if data.get("schema") != SCHEMA_NAME:
+            raise CheckpointError(
+                f"not a flow checkpoint: schema={data.get('schema')!r}")
+        if data.get("version") != SCHEMA_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version {data.get('version')!r}")
+        try:
+            return cls(next_index=int(data["next_index"]),
+                       iteration=int(data["iteration"]),
+                       stage=str(data["stage"]),
+                       total_stages=int(data["total_stages"]),
+                       design=str(data["design"]),
+                       num_pis=int(data["num_pis"]),
+                       num_pos=int(data["num_pos"]),
+                       depth_limit=data.get("depth_limit"),
+                       runtime_s=float(data.get("runtime_s", 0.0)),
+                       records=list(data.get("records", [])))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed checkpoint state: {exc}") from exc
+
+
+@dataclass
+class ResumePoint:
+    """A loaded checkpoint: state plus the two snapshotted networks."""
+
+    state: CheckpointState
+    network: Aig
+    best: Aig
+
+
+class CheckpointStore:
+    """One checkpoint directory, overwritten atomically on every save."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.saves = 0
+
+    def save(self, state: CheckpointState, network: Aig, best: Aig) -> None:
+        """Persist one checkpoint; ``state.json`` lands last (commit point)."""
+        atomic_write_text(os.path.join(self.directory, NETWORK_FILE),
+                          _encode_network(network))
+        atomic_write_text(os.path.join(self.directory, BEST_FILE),
+                          _encode_network(best))
+        atomic_write_text(os.path.join(self.directory, NETWORK_EXPORT),
+                          write_aag_string(network))
+        atomic_write_text(os.path.join(self.directory, BEST_EXPORT),
+                          write_aag_string(best))
+        atomic_write_text(os.path.join(self.directory, STATE_FILE),
+                          json.dumps(state.to_dict(), indent=2,
+                                     sort_keys=True) + "\n")
+        self.saves += 1
+
+    def load(self) -> Optional[ResumePoint]:
+        """The committed checkpoint, or ``None`` when none exists yet."""
+        return load_checkpoint(self.directory, missing_ok=True)
+
+
+def load_checkpoint(directory: str,
+                    missing_ok: bool = False) -> Optional[ResumePoint]:
+    """Load the checkpoint committed in *directory*.
+
+    Raises :class:`CheckpointError` when the directory holds no committed
+    ``state.json`` (unless *missing_ok*) or when any file is unreadable.
+    """
+    state_path = os.path.join(directory, STATE_FILE)
+    if not os.path.exists(state_path):
+        if missing_ok:
+            return None
+        raise CheckpointError(f"no checkpoint committed in {directory!r} "
+                              f"({STATE_FILE} missing)")
+    try:
+        with open(state_path, "r", encoding="utf-8") as handle:
+            state = CheckpointState.from_dict(json.load(handle))
+        with open(os.path.join(directory, NETWORK_FILE), "r",
+                  encoding="utf-8") as handle:
+            network = _decode_network(handle.read())
+        with open(os.path.join(directory, BEST_FILE), "r",
+                  encoding="utf-8") as handle:
+            best = _decode_network(handle.read())
+    except CheckpointError:
+        raise
+    except Exception as exc:
+        raise CheckpointError(
+            f"cannot load checkpoint from {directory!r}: {exc}") from exc
+    network.name = state.design
+    best.name = state.design
+    if network.num_pis != state.num_pis or network.num_pos != state.num_pos:
+        raise CheckpointError(
+            f"checkpoint network interface ({network.num_pis} PIs / "
+            f"{network.num_pos} POs) does not match its state record "
+            f"({state.num_pis} PIs / {state.num_pos} POs)")
+    return ResumePoint(state=state, network=network, best=best)

@@ -67,6 +67,7 @@ class ObsSession:
         self.metrics = MetricsRegistry()
         self.flow_stats: List[Any] = []
         self.parallel_reports: List[Any] = []
+        self.guard_reports: List[Any] = []
 
     def close(self) -> None:
         """Flush and release the JSONL sink, if any."""
@@ -150,6 +151,12 @@ def record_parallel_report(report: Any) -> None:
         _session.parallel_reports.append(report)
 
 
+def record_guard_report(report: Any) -> None:
+    """Register a flow's GuardReport (repro.guard) with the active session."""
+    if _session is not None:
+        _session.guard_reports.append(report)
+
+
 __all__ = [
     "JsonlSink",
     "MetricsRegistry",
@@ -168,6 +175,7 @@ __all__ = [
     "load_jsonl",
     "metrics",
     "record_flow_stats",
+    "record_guard_report",
     "record_parallel_report",
     "session",
     "span",

@@ -18,7 +18,10 @@ import json
 from typing import Any, Dict, List, Optional
 
 SCHEMA_NAME = "repro.obs/run-report"
-SCHEMA_VERSION = 1
+#: v1 — trace/metrics/flows/parallel_passes.
+#: v2 — adds the ``guard`` section (repro.guard: degradations, rollbacks,
+#:      checkpoints, injected faults).  v1 reports still validate.
+SCHEMA_VERSION = 2
 
 
 class ReportSchemaError(ValueError):
@@ -39,6 +42,8 @@ def build_report(session, command: Optional[str] = None) -> Dict[str, Any]:
         "flows": [stats.to_dict() for stats in session.flow_stats],
         "parallel_passes": [report.to_dict()
                             for report in session.parallel_reports],
+        "guard": [report.to_dict()
+                  for report in getattr(session, "guard_reports", [])],
     }
 
 
@@ -132,13 +137,46 @@ def _check_parallel(entry: Any, where: str) -> None:
                 "applied must be a bool")
 
 
+def _check_guard(entry: Any, where: str) -> None:
+    _expect(isinstance(entry, dict), where, "guard entry must be an object")
+    for key in ("rollbacks", "degradations", "skips", "checkpoints"):
+        _check_number(entry.get(key), f"{where}.{key}")
+    _expect(isinstance(entry.get("faults"), list), where,
+            "faults must be a list")
+    for i, fault in enumerate(entry["faults"]):
+        at = f"{where}.faults[{i}]"
+        _expect(isinstance(fault, dict), at, "fault must be an object")
+        _expect(isinstance(fault.get("site"), str), at,
+                "fault.site must be a string")
+        _expect(isinstance(fault.get("kind"), str), at,
+                "fault.kind must be a string")
+    _expect(isinstance(entry.get("events"), list), where,
+            "events must be a list")
+    for i, event in enumerate(entry["events"]):
+        at = f"{where}.events[{i}]"
+        _expect(isinstance(event, dict), at, "event must be an object")
+        _expect(isinstance(event.get("kind"), str), at,
+                "event.kind must be a string")
+        _expect(isinstance(event.get("stage"), str), at,
+                "event.stage must be a string")
+        _expect(isinstance(event.get("detail"), dict), at,
+                "event.detail must be an object")
+
+
 def validate_report(report: Any) -> None:
-    """Raise :class:`ReportSchemaError` unless *report* matches the schema."""
+    """Raise :class:`ReportSchemaError` unless *report* matches the schema.
+
+    Accepts every published version up to :data:`SCHEMA_VERSION`; the
+    ``guard`` section is required from v2 on.
+    """
     _expect(isinstance(report, dict), "report", "must be an object")
     _expect(report.get("schema") == SCHEMA_NAME, "report.schema",
             f"expected {SCHEMA_NAME!r}, got {report.get('schema')!r}")
-    _expect(report.get("version") == SCHEMA_VERSION, "report.version",
-            f"expected {SCHEMA_VERSION}, got {report.get('version')!r}")
+    version = report.get("version")
+    _expect(isinstance(version, int) and 1 <= version <= SCHEMA_VERSION,
+            "report.version",
+            f"expected an integer in [1, {SCHEMA_VERSION}], "
+            f"got {report.get('version')!r}")
     _expect(report.get("command") is None
             or isinstance(report["command"], str),
             "report.command", "must be a string or null")
@@ -156,6 +194,11 @@ def validate_report(report: Any) -> None:
             "report.parallel_passes", "must be a list")
     for i, entry in enumerate(report["parallel_passes"]):
         _check_parallel(entry, f"report.parallel_passes[{i}]")
+    if version >= 2:
+        _expect(isinstance(report.get("guard"), list), "report.guard",
+                "must be a list (schema v2)")
+        for i, entry in enumerate(report["guard"]):
+            _check_guard(entry, f"report.guard[{i}]")
 
 
 # -- rendering ----------------------------------------------------------------
@@ -226,7 +269,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"valid {report['schema']} v{report['version']}  "
           f"(spans={len(report['trace'])} roots, "
           f"flows={len(report['flows'])}, "
-          f"parallel_passes={len(report['parallel_passes'])})")
+          f"parallel_passes={len(report['parallel_passes'])}, "
+          f"guard={len(report.get('guard', []))})")
     print(format_trace_table(report["trace"]))
     print(format_metrics_table(report["metrics"]))
     return 0

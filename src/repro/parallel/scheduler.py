@@ -23,6 +23,17 @@ which case the window being waited on falls back and the remaining tasks are
 retried in a fresh pool (bounded by ``max_pool_restarts``).  A window that
 exceeds ``window_timeout_s`` falls back as well.  A fallback window simply
 keeps its original logic — the network is never left in a corrupt state.
+
+Fault injection: a seeded :class:`repro.guard.chaos.FaultPlan` can be
+threaded through the scheduler (``chaos=`` / ``chaos_scope=``) to inject
+worker crashes, window timeouts, corrupt (non-equivalent) results, and
+forced BDD bailouts at deterministic window sites.  The plan is evaluated
+in the *parent* before submission, so every injected fault is known and
+reported (window payload key ``"chaos"``) even when the worker it hit
+never answers; injected crashes are attributed to the window the plan
+picked, which keeps chaos runs deterministic for a fixed seed and jobs
+count.  Window-level faults are one-shot: a window retried after an
+injected pool crash runs clean.
 """
 
 from __future__ import annotations
@@ -37,6 +48,8 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.aig.aig import Aig
+from repro.errors import BddLimitError
+from repro.guard.chaos import corrupt_window_result, in_worker_process
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER
 from repro.parallel.stats import ParallelReport, WindowRecord
@@ -90,7 +103,9 @@ OBS_PAYLOAD_KEY = "_obs_metrics"
 
 
 def run_window_task(engine_name: str, task: WindowTask, config: Any,
-                    collect_metrics: Optional[bool] = None) -> WindowResult:
+                    collect_metrics: Optional[bool] = None,
+                    inject: Optional[str] = None,
+                    timeout_hint: Optional[float] = None) -> WindowResult:
     """Worker entry point: decode, optimize, re-encode one window.
 
     Runs in a worker process (or inline when ``jobs=1``).  Any exception is
@@ -104,13 +119,32 @@ def run_window_task(engine_name: str, task: WindowTask, config: Any,
     shipped back in the result payload under :data:`OBS_PAYLOAD_KEY`.  The
     scheduler passes the parent's setting explicitly so the behaviour does
     not depend on the multiprocessing start method.
+
+    *inject* names a fault drawn by a :class:`repro.guard.chaos.FaultPlan`
+    for this window; *timeout_hint* is the scheduler's per-window budget,
+    used to make an injected ``window-timeout`` overrun it for real.
+    Fault kinds that need process machinery (crash, timeout) degrade to
+    plain fallbacks when executed inline.
     """
     start = time.perf_counter()
+    if inject == "worker-crash":
+        if in_worker_process():
+            os._exit(23)  # hard exit: breaks the pool, like a real segfault
+        return _fallback_result(task, "chaos:worker-crash")
+    if inject == "window-timeout":
+        if timeout_hint is not None and in_worker_process():
+            # Overrun the parent's per-window deadline for real; the parent
+            # has already fallen back by the time this result is produced.
+            time.sleep(timeout_hint * 1.5 + 0.05)
+        return _fallback_result(task, "chaos:window-timeout",
+                                wall_s=time.perf_counter() - start)
     if collect_metrics is None:
         collect_metrics = obs.enabled()
     local = MetricsRegistry() if collect_metrics else None
     previous = obs.install(NULL_TRACER, local) if local is not None else None
     try:
+        if inject == "bdd-limit":
+            raise BddLimitError("chaos: forced BDD node limit")
         engine = _resolve_engine(engine_name)
         sub = task.compact.to_aig()
         changed, optimized, payload = engine(sub, config)
@@ -121,6 +155,8 @@ def run_window_task(engine_name: str, task: WindowTask, config: Any,
                               changed=compact is not None,
                               optimized=compact, payload=payload,
                               wall_s=time.perf_counter() - start)
+        if inject == "corrupt-result":
+            result = corrupt_window_result(task, result)
     except Exception as exc:  # fault isolation: report, don't propagate
         result = _fallback_result(
             task, f"worker-error:{type(exc).__name__}: {exc}",
@@ -150,14 +186,24 @@ class PartitionScheduler:
     max_pool_restarts:
         How many times a hard-crashed process pool is rebuilt before the
         remaining windows are abandoned to their fallbacks.
+    chaos:
+        Optional :class:`repro.guard.chaos.FaultPlan`; when set, each
+        window site is asked for an injected fault before execution.
+    chaos_scope:
+        Site-name prefix (the flow passes ``it<effort>:<stage>``) so the
+        same engine run in different stages draws independent faults.
     """
 
     def __init__(self, jobs: Optional[int] = 1,
                  window_timeout_s: Optional[float] = None,
-                 max_pool_restarts: int = 2) -> None:
+                 max_pool_restarts: int = 2,
+                 chaos: Optional[Any] = None,
+                 chaos_scope: str = "") -> None:
         self.jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 1)
         self.window_timeout_s = window_timeout_s
         self.max_pool_restarts = max_pool_restarts
+        self.chaos = chaos
+        self.chaos_scope = chaos_scope
 
     # -- public API ----------------------------------------------------------
 
@@ -182,7 +228,9 @@ class PartitionScheduler:
             windows = [w for w in (refresh_window(aig, w) for w in windows)
                        if w is not None]
             tasks = [extract_task(aig, w, i) for i, w in enumerate(windows)]
-            results, restarts = self._execute(engine, tasks, config)
+            injections = self._draw_faults(engine, tasks)
+            results, restarts = self._execute(engine, tasks, config,
+                                              injections)
             report = ParallelReport(engine=engine, jobs=self.jobs,
                                     pool_restarts=restarts)
             registry = obs.metrics()
@@ -194,8 +242,15 @@ class PartitionScheduler:
                 # order-dependent merge op is the gauge last-write, so the
                 # registry ends up identical for every jobs value.
                 registry.merge(result.payload.pop(OBS_PAYLOAD_KEY, None))
-                report.records.append(
-                    self._merge_window(aig, engine, window, task, result))
+                record = self._merge_window(aig, engine, window, task, result)
+                kind = injections.get(task.index)
+                if kind is not None:
+                    # Surface the injected fault even when the worker died
+                    # before it could report (the parent drew the fault).
+                    record.payload.setdefault("chaos", kind)
+                    registry.inc("guard.chaos.injected", engine=engine,
+                                 kind=kind)
+                report.records.append(record)
             report.elapsed_s = time.perf_counter() - start
             self._observe_report(report, pass_span)
         return report
@@ -230,36 +285,65 @@ class PartitionScheduler:
 
     # -- execution -----------------------------------------------------------
 
-    def _execute(self, engine: str, tasks: List[WindowTask], config: Any
+    def _draw_faults(self, engine: str,
+                     tasks: List[WindowTask]) -> Dict[int, str]:
+        """Ask the fault plan about every window site, in partition order.
+
+        Drawing up front in the parent makes the injection schedule
+        independent of worker scheduling and visible even for faults that
+        kill the worker before it can report.
+        """
+        if self.chaos is None:
+            return {}
+        prefix = f"{self.chaos_scope}:" if self.chaos_scope else ""
+        injections: Dict[int, str] = {}
+        for task in tasks:
+            kind = self.chaos.draw(f"{prefix}{engine}:w{task.index}")
+            if kind is not None:
+                injections[task.index] = kind
+        return injections
+
+    def _execute(self, engine: str, tasks: List[WindowTask], config: Any,
+                 injections: Optional[Dict[int, str]] = None
                  ) -> Tuple[Dict[int, WindowResult], int]:
         collect = obs.enabled()
+        injections = injections or {}
         if self.jobs <= 1 or len(tasks) <= 1:
-            return ({t.index: run_window_task(engine, t, config,
-                                              collect_metrics=collect)
+            return ({t.index: run_window_task(
+                        engine, t, config, collect_metrics=collect,
+                        inject=injections.get(t.index),
+                        timeout_hint=self.window_timeout_s)
                      for t in tasks}, 0)
-        return self._execute_pool(engine, tasks, config, collect)
+        return self._execute_pool(engine, tasks, config, collect, injections)
 
     def _execute_pool(self, engine: str, tasks: List[WindowTask], config: Any,
-                      collect: bool = False
+                      collect: bool = False,
+                      injections: Optional[Dict[int, str]] = None
                       ) -> Tuple[Dict[int, WindowResult], int]:
         results: Dict[int, WindowResult] = {}
         pending = list(tasks)
+        injections = dict(injections or {})
         restarts = 0
         while pending:
             pending = self._pool_round(engine, pending, config, results,
-                                       collect)
+                                       collect, injections)
             if pending:
-                restarts += 1
-                if restarts > self.max_pool_restarts:
+                if restarts >= self.max_pool_restarts:
+                    # Restart budget exhausted: every remaining window keeps
+                    # its original logic.  ``pool_restarts`` reports exactly
+                    # the number of pools rebuilt, i.e. the cap.
                     for task in pending:
                         results[task.index] = _fallback_result(
                             task, "pool-restart-limit")
                     break
+                restarts += 1
         return results, restarts
 
     def _pool_round(self, engine: str, tasks: List[WindowTask], config: Any,
                     results: Dict[int, WindowResult],
-                    collect: bool = False) -> List[WindowTask]:
+                    collect: bool = False,
+                    injections: Optional[Dict[int, str]] = None
+                    ) -> List[WindowTask]:
         """Run one process pool; return the tasks that must be retried.
 
         A worker *exception* is handled inside :func:`run_window_task` and
@@ -269,16 +353,22 @@ class PartitionScheduler:
         retry: List[WindowTask] = []
         tainted = False  # a timed-out worker still occupies its slot
         broken = False
+        injections = injections if injections is not None else {}
         pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(tasks)),
                                    mp_context=self._mp_context())
         try:
             futures = [(task, pool.submit(run_window_task, engine, task,
-                                          config, collect))
+                                          config, collect,
+                                          injections.get(task.index),
+                                          self.window_timeout_s))
                        for task in tasks]
             for task, future in futures:
                 if broken:
                     # The pool died while this future was pending; anything
-                    # already finished is kept, the rest is retried.
+                    # already finished (or already attributed) is kept, the
+                    # rest is retried.
+                    if task.index in results:
+                        continue
                     if future.done() and not future.cancelled():
                         try:
                             results[task.index] = future.result()
@@ -296,11 +386,28 @@ class PartitionScheduler:
                     future.cancel()
                     tainted = True
                 except BrokenProcessPool:
-                    # Cannot tell which worker died: this window falls back,
-                    # every unfinished one is retried in a fresh pool.
-                    results[task.index] = _fallback_result(
-                        task, "worker-crashed")
                     broken = True
+                    crashed = [t for t in tasks
+                               if injections.get(t.index) == "worker-crash"
+                               and t.index not in results]
+                    if crashed:
+                        # The fault plan knows which worker it killed:
+                        # attribute the crash to the injected window(s) and
+                        # retry everything else (this one included) in a
+                        # fresh pool.  Injections are one-shot, so retried
+                        # windows run clean — chaos runs stay deterministic.
+                        for t in crashed:
+                            results[t.index] = _fallback_result(
+                                t, "worker-crashed")
+                            injections.pop(t.index, None)
+                        if task.index not in results:
+                            retry.append(task)
+                    else:
+                        # Cannot tell which worker died: this window falls
+                        # back, every unfinished one is retried in a fresh
+                        # pool.
+                        results[task.index] = _fallback_result(
+                            task, "worker-crashed")
                 except Exception as exc:
                     results[task.index] = _fallback_result(
                         task, f"pool-error:{type(exc).__name__}")
@@ -372,9 +479,11 @@ class PartitionScheduler:
 def run_partitioned_pass(aig: Aig, engine: str, config: Any,
                          partition_config: Optional[PartitionConfig] = None,
                          jobs: Optional[int] = 1,
-                         window_timeout_s: Optional[float] = None
-                         ) -> ParallelReport:
+                         window_timeout_s: Optional[float] = None,
+                         chaos: Optional[Any] = None,
+                         chaos_scope: str = "") -> ParallelReport:
     """Convenience wrapper: one scheduler, one pass, one report."""
     scheduler = PartitionScheduler(jobs=jobs,
-                                   window_timeout_s=window_timeout_s)
+                                   window_timeout_s=window_timeout_s,
+                                   chaos=chaos, chaos_scope=chaos_scope)
     return scheduler.run_pass(aig, engine, config, partition_config)

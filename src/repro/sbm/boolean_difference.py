@@ -81,7 +81,8 @@ def publish_metrics(stats: BooleanDifferenceStats) -> None:
 def boolean_difference_pass(aig: Aig,
                             config: Optional[BooleanDifferenceConfig] = None,
                             jobs: int = 1,
-                            window_timeout_s: Optional[float] = None
+                            window_timeout_s: Optional[float] = None,
+                            chaos=None, chaos_scope: str = ""
                             ) -> BooleanDifferenceStats:
     """Run Alg. 2 over every partition of the network; edits in place.
 
@@ -94,7 +95,8 @@ def boolean_difference_pass(aig: Aig,
     from repro.parallel.scheduler import run_partitioned_pass
     report = run_partitioned_pass(aig, "bdiff", config, config.partition,
                                   jobs=jobs,
-                                  window_timeout_s=window_timeout_s)
+                                  window_timeout_s=window_timeout_s,
+                                  chaos=chaos, chaos_scope=chaos_scope)
     stats = BooleanDifferenceStats(partitions=report.num_windows)
     for record in report.records:
         payload = record.payload

@@ -15,9 +15,12 @@ Default values follow the paper's empirical settings:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
 from repro.partition.partitioner import PartitionConfig
+
+if TYPE_CHECKING:
+    from repro.guard.chaos import FaultPlan
 
 
 @dataclass
@@ -89,7 +92,30 @@ class FlowConfig:
     #: Per-window wall-clock budget (seconds) when ``jobs > 1``; an
     #: overrunning window falls back to its original logic.  ``None``
     #: disables the timeout, which keeps parallel runs deterministic.
+    #: **Silently ignored when** ``jobs <= 1``: the inline path executes
+    #: windows in the flow's own process and cannot preempt them, so the
+    #: flow emits a one-time warning when this is set without ``jobs > 1``.
+    #: Serial runs are bounded by the guard layer's *stage* budget instead
+    #: (:attr:`flow_timeout_s` and the ``repro.guard`` degradation ladder).
     window_timeout_s: Optional[float] = None
+    #: Flow-level wall-clock budget (seconds; CLI ``--timeout``).  The
+    #: :class:`repro.guard.budget.DeadlineManager` splits it across the
+    #: remaining stages: a stage is run at reduced effort when the run
+    #: falls behind schedule, and skipped once the budget is exhausted —
+    #: the flow degrades instead of hanging or dying.  ``None`` (default)
+    #: disables all time discipline.
+    flow_timeout_s: Optional[float] = None
+    #: Directory for crash-safe checkpoints (CLI ``--checkpoint-dir``).
+    #: After every (verified) stage the current and best networks plus the
+    #: flow state are snapshotted via atomic write-then-rename;
+    #: ``sbm_flow(..., resume_from=dir)`` / CLI ``--resume`` continues a
+    #: killed run from the last committed checkpoint.
+    checkpoint_dir: Optional[str] = None
+    #: Optional :class:`repro.guard.chaos.FaultPlan` (CLI ``--chaos SEED``)
+    #: injecting deterministic faults into the partition scheduler and the
+    #: stage runner.  Corrupt-result faults need
+    #: :attr:`verify_each_step` to keep the final network correct.
+    chaos: Optional["FaultPlan"] = None
     #: Optional level discipline (Section V-A: "we enforced a tight control
     #: on the number of levels ... as this is known to correlate with delay
     #: and congestion later on in the flow").  When set, a stage whose
@@ -103,4 +129,9 @@ class FlowConfig:
     gradient: GradientConfig = field(default_factory=GradientConfig)
     enable_sat_sweep: bool = True
     enable_redundancy_removal: bool = False  # expensive; on for final effort
+    #: Verify every stage through the :class:`repro.guard.stage_guard
+    #: .StageGuard` ladder (256-pattern random-simulation fast check, then
+    #: SAT CEC) and roll a miscomparing stage back to the last verified
+    #: network instead of aborting.  Historically this was an
+    #: end-of-iteration ``assert_equivalent`` that raised on failure.
     verify_each_step: bool = False

@@ -65,20 +65,23 @@ def publish_metrics(stats: KernelStats) -> None:
 
 def hetero_kernel_pass(aig: Aig, config: Optional[KernelConfig] = None,
                        jobs: int = 1,
-                       window_timeout_s: Optional[float] = None
-                       ) -> KernelStats:
+                       window_timeout_s: Optional[float] = None,
+                       chaos=None, chaos_scope: str = "") -> KernelStats:
     """Run heterogeneous eliminate+kernel over every partition; edits in place.
 
     Partitions are snapshot up front and optimized independently — inline
     and in partition order when ``jobs=1`` (the serial path), over a process
     pool when ``jobs>1`` — then spliced back in deterministic partition
-    order, so the result is identical for every ``jobs`` value.
+    order, so the result is identical for every ``jobs`` value.  *chaos* /
+    *chaos_scope* thread a :class:`repro.guard.chaos.FaultPlan` into the
+    scheduler.
     """
     config = config or KernelConfig()
     from repro.parallel.scheduler import run_partitioned_pass
     report = run_partitioned_pass(aig, "kernel", config, config.partition,
                                   jobs=jobs,
-                                  window_timeout_s=window_timeout_s)
+                                  window_timeout_s=window_timeout_s,
+                                  chaos=chaos, chaos_scope=chaos_scope)
     stats = KernelStats(partitions=report.num_windows)
     for record in report.records:
         if not record.applied:

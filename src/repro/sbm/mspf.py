@@ -71,7 +71,8 @@ def publish_metrics(stats: MspfStats) -> None:
 
 
 def mspf_pass(aig: Aig, config: Optional[MspfConfig] = None, jobs: int = 1,
-              window_timeout_s: Optional[float] = None) -> MspfStats:
+              window_timeout_s: Optional[float] = None,
+              chaos=None, chaos_scope: str = "") -> MspfStats:
     """Run BDD-based MSPF optimization over every partition; edits in place.
 
     Partitions are snapshot up front and optimized independently — inline
@@ -86,7 +87,8 @@ def mspf_pass(aig: Aig, config: Optional[MspfConfig] = None, jobs: int = 1,
     from repro.parallel.scheduler import run_partitioned_pass
     report = run_partitioned_pass(aig, "mspf", config, config.partition,
                                   jobs=jobs,
-                                  window_timeout_s=window_timeout_s)
+                                  window_timeout_s=window_timeout_s,
+                                  chaos=chaos, chaos_scope=chaos_scope)
     stats = MspfStats(partitions=report.num_windows)
     for record in report.records:
         payload = record.payload

@@ -348,12 +348,29 @@ class TestRunReport:
         with pytest.raises(ReportSchemaError):
             validate_report(report)
 
+    def test_v1_reports_still_validate(self):
+        # Schema v2 added the "guard" section; pre-existing v1 reports
+        # (no guard key) must keep validating.
+        report = build_report(_sample_session())
+        report["version"] = 1
+        del report["guard"]
+        validate_report(report)
+
+    def test_v2_requires_guard_section(self):
+        report = build_report(_sample_session())
+        del report["guard"]
+        with pytest.raises(ReportSchemaError):
+            validate_report(report)
+        report["guard"] = [{"rollbacks": 0}]  # missing required counters
+        with pytest.raises(ReportSchemaError):
+            validate_report(report)
+
     def test_cli_validator(self, tmp_path, capsys):
         path = str(tmp_path / "report.json")
         report = build_report(_sample_session(), command="optimize t")
         write_report(path, report)
         assert report_main([path]) == 0
-        assert "valid repro.obs/run-report v1" in capsys.readouterr().out
+        assert "valid repro.obs/run-report v2" in capsys.readouterr().out
 
         report["version"] = 99
         write_report(path, report)

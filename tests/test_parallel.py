@@ -259,6 +259,26 @@ class TestFaultIsolation:
         assert signature(aig) == before
         assert_equivalent(reference, aig.cleanup())
 
+    def test_pool_restart_exhaustion_reports_exact_cap(self):
+        """At the restart cap every remaining window falls back, and
+        ``pool_restarts`` equals the cap — not cap+1, not "at least"."""
+        aig = make_random_aig(12, 600, seed=37)
+        reference = aig.cleanup()
+        for cap in (1, 2):
+            work = aig.cleanup()
+            before = signature(work)
+            scheduler = PartitionScheduler(jobs=2, max_pool_restarts=cap)
+            report = scheduler.run_pass(work, "killer", None,
+                                        partition_config=SMALL_PARTS)
+            assert report.num_windows > 1
+            assert report.num_applied == 0
+            # Every window is accounted for: crashed or abandoned.
+            assert report.num_fallbacks == report.num_windows
+            assert report.pool_restarts == cap
+            assert "pool-restart-limit" in report.fallback_reasons
+            assert signature(work) == before
+            assert_equivalent(reference, work)
+
     def test_unknown_engine_falls_back(self):
         aig = make_random_aig(8, 150, seed=31)
         before = signature(aig)
