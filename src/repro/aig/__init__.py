@@ -13,6 +13,13 @@ from repro.aig.aig import (
 from repro.aig.cuts import Cut, cut_cone_size, cut_volume_refs, enumerate_cuts
 from repro.aig.io_aiger import read_aag, write_aag, write_aag_string
 from repro.aig.io_aiger_binary import read_aig_binary, write_aig_binary
+from repro.aig.simprogram import (
+    SimProgram,
+    pack_rounds,
+    sim_program,
+    simulate_wide,
+    wide_mask,
+)
 from repro.aig.simulate import (
     functional_fingerprints,
     po_tables,
@@ -40,6 +47,7 @@ __all__ = [
     "read_aig_binary", "write_aig_binary",
     "simulate_words", "simulate_complete", "po_words", "po_tables",
     "random_words", "functional_fingerprints",
+    "SimProgram", "sim_program", "simulate_wide", "pack_rounds", "wide_mask",
     "topological_order_all", "transitive_fanin", "transitive_fanout",
     "structural_support", "all_supports", "support_similarity",
     "cone_inclusion", "node_level_map",

@@ -23,6 +23,7 @@ that Maximum Fanout-Free Cones (MFFCs) can be measured cheaply.
 
 from __future__ import annotations
 
+from itertools import count
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import AigError
@@ -72,8 +73,16 @@ class Aig:
     1
     """
 
+    #: Process-wide monotonic source of network generations.  Every edit
+    #: stamps the network with a *globally unique* generation, so anything
+    #: cached against a generation (the compiled simulation program of
+    #: :mod:`repro.aig.simprogram`) can never be confused between two
+    #: network objects — even after wholesale ``__dict__`` swaps.
+    _gen_source = count(1)
+
     def __init__(self, name: str = "aig") -> None:
         self.name = name
+        self._generation = next(Aig._gen_source)
         # Parallel node arrays.  Node 0 is the constant node.
         self._fanin0: List[int] = [-1]
         self._fanin1: List[int] = [-1]
@@ -106,6 +115,7 @@ class Aig:
         self._pos.append(literal)
         self._po_names.append(name if name is not None else f"po{len(self._pos) - 1}")
         self._ref_lit(literal)
+        self._touch()
         return len(self._pos) - 1
 
     def set_po(self, index: int, literal: int) -> None:
@@ -115,6 +125,7 @@ class Aig:
         self._pos[index] = literal
         self._ref_lit(literal)
         self._deref_lit(old)
+        self._touch()
 
     def add_and(self, a: int, b: int) -> int:
         """Return the literal of ``a AND b``, creating a node if needed.
@@ -190,6 +201,20 @@ class Aig:
         return lits[0]
 
     # -- structure queries ----------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Monotonic, globally unique stamp of the network's current shape.
+
+        Any structural edit — node creation, PO changes, fanin patches,
+        node deaths — advances it, invalidating generation-keyed caches
+        (notably the compiled :class:`~repro.aig.simprogram.SimProgram`).
+        """
+        return self._generation
+
+    def _touch(self) -> None:
+        """Advance the generation after a structural edit."""
+        self._generation = next(Aig._gen_source)
 
     @property
     def num_pis(self) -> int:
@@ -319,6 +344,7 @@ class Aig:
         # would end up with a dead fanin.
         worklist: List[Tuple[int, int]] = [(node, new_lit)]
         self._ref_lit(new_lit)
+        self._touch()
         while worklist:
             old_node, repl = worklist.pop()
             if self._dead[old_node] or lit_node(repl) == old_node:
@@ -353,6 +379,7 @@ class Aig:
         collect it); the caller's worklist processing releases it.
         """
         f0, f1 = self._fanin0[target], self._fanin1[target]
+        self._touch()
         self._strash.pop(self._strash_key(f0, f1), None)
         n0 = lit_notcond(repl, lit_is_compl(f0)) if lit_node(f0) == old_node else f0
         n1 = lit_notcond(repl, lit_is_compl(f1)) if lit_node(f1) == old_node else f1
@@ -402,6 +429,7 @@ class Aig:
                 continue
             self._dead[n] = True
             self._n_dead_ands += 1
+            self._touch()
             key = self._strash_key(self._fanin0[n], self._fanin1[n])
             if self._strash.get(key) == n:
                 del self._strash[key]
@@ -581,6 +609,7 @@ class Aig:
         self._nrefs.append(0)
         self._dead.append(False)
         self._fanouts.append([])
+        self._touch()
         return len(self._fanin0) - 1
 
     def _ref_lit(self, literal: int) -> None:

@@ -20,6 +20,12 @@ from typing import Dict, List, Optional, Tuple
 from repro.aig.aig import Aig, lit_is_compl, lit_node
 from repro.aig.traversal import topological_order_all
 
+try:
+    _popcount = int.bit_count  # Python >= 3.10
+except AttributeError:  # pragma: no cover - older interpreters
+    def _popcount(value: int) -> int:
+        return bin(value).count("1")
+
 
 @dataclass(frozen=True)
 class Cut:
@@ -27,17 +33,31 @@ class Cut:
 
     The truth table (when computed) is an integer over ``2**len(leaves)``
     bits, with leaf 0 the least significant variable.
+
+    Each cut carries a precomputed *leaf-bitmask signature* — the OR of
+    ``1 << leaf`` over its leaves.  Because every leaf maps to exactly one
+    bit, ``sig_a & sig_b == sig_a`` is not a filter but the *exact* subset
+    test, so :meth:`dominates` (the hottest comparison of cut enumeration)
+    never builds a set.
     """
 
     leaves: Tuple[int, ...]
     table: Optional[int] = field(default=None, compare=False)
+    sig: int = field(default=0, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.sig == 0 and self.leaves:
+            mask = 0
+            for leaf in self.leaves:
+                mask |= 1 << leaf
+            object.__setattr__(self, "sig", mask)
 
     def __len__(self) -> int:
         return len(self.leaves)
 
     def dominates(self, other: "Cut") -> bool:
         """True when this cut's leaves are a subset of *other*'s."""
-        return set(self.leaves) <= set(other.leaves)
+        return self.sig & other.sig == self.sig
 
 
 def enumerate_cuts(aig: Aig, k: int = 4, cut_limit: int = 8,
@@ -60,14 +80,24 @@ def enumerate_cuts(aig: Aig, k: int = 4, cut_limit: int = 8,
         c0, c1 = lit_is_compl(f0), lit_is_compl(f1)
         merged: List[Cut] = []
         for cut_a in cuts[n0]:
+            sig_a = cut_a.sig
             for cut_b in cuts[n1]:
-                leaves = tuple(sorted(set(cut_a.leaves) | set(cut_b.leaves)))
-                if len(leaves) > k:
+                # Signature union rejects oversized merges before any
+                # tuple/set is built; each leaf is one bit, so the
+                # popcount is the exact merged leaf count.
+                sig = sig_a | cut_b.sig
+                if _popcount(sig) > k:
                     continue
+                if sig == sig_a:
+                    leaves = cut_a.leaves
+                elif sig == cut_b.sig:
+                    leaves = cut_b.leaves
+                else:
+                    leaves = tuple(sorted(set(cut_a.leaves) | set(cut_b.leaves)))
                 table = None
                 if compute_tables:
                     table = _merge_tables(cut_a, cut_b, leaves, c0, c1)
-                merged.append(Cut(leaves, table))
+                merged.append(Cut(leaves, table, sig))
         merged = _filter_cuts(merged, cut_limit)
         trivial_table = 0b10 if compute_tables else None
         merged.append(Cut((n,), trivial_table))
@@ -110,6 +140,8 @@ def _merge_tables(cut_a: Cut, cut_b: Cut, leaves: Tuple[int, ...],
 def _expand_table(table: int, from_leaves: Tuple[int, ...],
                   to_leaves: Tuple[int, ...], nbits: int) -> int:
     """Re-express *table* (over *from_leaves*) over the superset *to_leaves*."""
+    if from_leaves == to_leaves:
+        return table
     positions = [to_leaves.index(leaf) for leaf in from_leaves]
     out = 0
     for row in range(nbits):

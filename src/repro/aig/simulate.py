@@ -8,6 +8,14 @@ Two flavours are provided:
 * :func:`simulate_complete` — complete truth-table simulation for networks with
   few inputs (the "small windows of logic (≈ 15 inputs)" regime of Section II),
   returning one Python integer truth table per node/PO.
+
+Both are backed by the compiled :class:`repro.aig.simprogram.SimProgram`
+(flat fanin arrays + cached topological order, recompiled only when the
+network's edit generation changes); the original interpreted walks are kept
+as the reference path behind :mod:`repro.hotpath` so tests and benchmarks
+can prove the compiled path bit-identical.  Multi-round callers should use
+:func:`repro.aig.simprogram.simulate_wide`, which evaluates W 64-bit rounds
+in a single pass over W×64-bit integers.
 """
 
 from __future__ import annotations
@@ -15,7 +23,9 @@ from __future__ import annotations
 import random
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro import hotpath
 from repro.aig.aig import Aig, lit_is_compl, lit_node
+from repro.aig.simprogram import sim_program
 from repro.aig.traversal import topological_order_all
 from repro.errors import AigError
 
@@ -37,6 +47,21 @@ def simulate_words(aig: Aig, pi_words: Sequence[int]) -> Dict[int, int]:
     -------
     dict mapping every live node id to its 64-bit output word.
     """
+    if not hotpath.enabled():
+        return _simulate_words_reference(aig, pi_words)
+    program = sim_program(aig)
+    values = program.run(pi_words, WORD_MASK)
+    out: Dict[int, int] = {0: 0}
+    for node in program.pi_nodes:
+        out[node] = values[node]
+    for op in program.ops:
+        n = op[0]
+        out[n] = values[n]
+    return out
+
+
+def _simulate_words_reference(aig: Aig, pi_words: Sequence[int]) -> Dict[int, int]:
+    """Reference implementation: interpreted per-call topological walk."""
     if len(pi_words) != aig.num_pis:
         raise AigError(f"expected {aig.num_pis} PI words, got {len(pi_words)}")
     values: Dict[int, int] = {0: 0}
@@ -50,8 +75,8 @@ def simulate_words(aig: Aig, pi_words: Sequence[int]) -> Dict[int, int]:
     return values
 
 
-def po_words(aig: Aig, values: Dict[int, int]) -> List[int]:
-    """Extract PO output words from a node-value dictionary."""
+def po_words(aig: Aig, values) -> List[int]:
+    """Extract PO output words from a node-value dictionary (or list)."""
     out = []
     for po in aig.pos():
         v = values[lit_node(po)]
@@ -77,6 +102,17 @@ def simulate_complete(aig: Aig) -> Dict[int, int]:
         raise AigError(f"complete simulation infeasible for {k} inputs")
     nbits = 1 << k
     mask = (1 << nbits) - 1
+    if hotpath.enabled():
+        program = sim_program(aig)
+        patterns = [_variable_pattern(i, nbits) for i in range(k)]
+        flat = program.run(patterns, mask)
+        out: Dict[int, int] = {0: 0}
+        for node in program.pi_nodes:
+            out[node] = flat[node]
+        for op in program.ops:
+            n = op[0]
+            out[n] = flat[n]
+        return out
     values: Dict[int, int] = {0: 0}
     for i, node in enumerate(aig.pis()):
         values[node] = _variable_pattern(i, nbits)

@@ -1,9 +1,10 @@
 """Binary Decision Diagram package (Section II-A, III-C, IV-C engines)."""
 
+from repro.bdd import pool
 from repro.bdd.manager import FALSE, TRUE, BddManager
 from repro.bdd.to_aig import aig_window_to_bdds, bdd_of_literal, bdd_to_aig
 
 __all__ = [
-    "BddManager", "FALSE", "TRUE",
+    "BddManager", "FALSE", "TRUE", "pool",
     "bdd_to_aig", "aig_window_to_bdds", "bdd_of_literal",
 ]

@@ -27,10 +27,18 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro import hotpath
 from repro.errors import BddLimitError, ReproError
 
 FALSE = 0  #: terminal node for constant 0
 TRUE = 1   #: terminal node for constant 1
+
+#: Opcodes for the direct binary-operation cache (``_cache_op``).
+_OP_AND = 0
+_OP_OR = 1
+_OP_XOR = 2
+
+_NO_VAR = 10 ** 9  # pseudo variable level of terminals inside ite
 
 
 class BddManager:
@@ -53,6 +61,10 @@ class BddManager:
         self._unique: Dict[Tuple[int, int, int], int] = {}
         self._cache_ite: Dict[Tuple[int, int, int], int] = {}
         self._cache_not: Dict[int, int] = {}
+        #: Direct binary-op computed table keyed ``(op, f, g)`` — the hot
+        #: path answers repeated AND/OR/XOR requests without re-entering
+        #: the ITE machinery at all.
+        self._cache_op: Dict[Tuple[int, int, int], int] = {}
         self._vars: List[int] = []
         for _ in range(num_vars):
             self.new_var()
@@ -122,7 +134,67 @@ class BddManager:
         return node
 
     def ite(self, f: int, g: int, h: int) -> int:
-        """If-then-else: the universal ternary BDD operator."""
+        """If-then-else: the universal ternary BDD operator.
+
+        The hot path inlines cofactoring and the top-variable selection
+        (no ``min()`` generator, no ``_cofactors`` calls) while keeping
+        the reference's exact control flow — low subproblem fully
+        evaluated (including ``_mk`` allocations and cache writes) before
+        the high one, parent combined last — so node ids, cache
+        contents, and any :class:`~repro.errors.BddLimitError` fire at
+        identical points.  Recursion depth is bounded by the variable
+        count (``top`` strictly increases), so plain recursion is safe
+        and measurably cheaper than an explicit frame stack.
+        """
+        if not hotpath.enabled():
+            return self._ite_recursive(f, g, h)
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        cache = self._cache_ite
+        key = (f, g, h)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        var = self._var
+        low_of = self._low
+        high_of = self._high
+        vf = var[f]
+        vg = var[g] if g > 1 else _NO_VAR
+        vh = var[h] if h > 1 else _NO_VAR
+        top = vf
+        if vg < top:
+            top = vg
+        if vh < top:
+            top = vh
+        if vf == top:
+            f0 = low_of[f]
+            f1 = high_of[f]
+        else:
+            f0 = f1 = f
+        if vg == top:
+            g0 = low_of[g]
+            g1 = high_of[g]
+        else:
+            g0 = g1 = g
+        if vh == top:
+            h0 = low_of[h]
+            h1 = high_of[h]
+        else:
+            h0 = h1 = h
+        low = self.ite(f0, g0, h0)
+        high = self.ite(f1, g1, h1)
+        result = self._mk(top, low, high)
+        cache[key] = result
+        return result
+
+    def _ite_recursive(self, f: int, g: int, h: int) -> int:
+        """Reference ITE: the original recursive formulation."""
         # Terminal cases.
         if f == TRUE:
             return g
@@ -142,8 +214,8 @@ class BddManager:
         f0, f1 = self._cofactors(f, top)
         g0, g1 = self._cofactors(g, top)
         h0, h1 = self._cofactors(h, top)
-        low = self.ite(f0, g0, h0)
-        high = self.ite(f1, g1, h1)
+        low = self._ite_recursive(f0, g0, h0)
+        high = self._ite_recursive(f1, g1, h1)
         result = self._mk(top, low, high)
         self._cache_ite[key] = result
         return result
@@ -156,35 +228,91 @@ class BddManager:
     # -- boolean operations -------------------------------------------------------
 
     def apply_and(self, f: int, g: int) -> int:
-        """Conjunction of two functions."""
-        return self.ite(f, g, FALSE)
+        """Conjunction of two functions.
+
+        Hot path: terminal short-circuits (all allocation-free in the
+        reference formulation too) plus a direct ``(AND, f, g)`` computed
+        table in front of the ITE machinery.
+        """
+        if not hotpath.enabled():
+            return self.ite(f, g, FALSE)
+        if f == TRUE:
+            return g
+        if g == TRUE:
+            return f
+        if f == FALSE or g == FALSE:
+            return FALSE
+        if f == g:
+            return f
+        key = (_OP_AND, f, g)
+        result = self._cache_op.get(key)
+        if result is None:
+            result = self.ite(f, g, FALSE)
+            self._cache_op[key] = result
+        return result
 
     def apply_or(self, f: int, g: int) -> int:
         """Disjunction of two functions."""
-        return self.ite(f, TRUE, g)
+        if not hotpath.enabled():
+            return self.ite(f, TRUE, g)
+        if f == TRUE or g == TRUE:
+            return TRUE
+        if f == FALSE:
+            return g
+        if g == FALSE:
+            return f
+        if f == g:
+            return f
+        key = (_OP_OR, f, g)
+        result = self._cache_op.get(key)
+        if result is None:
+            result = self.ite(f, TRUE, g)
+            self._cache_op[key] = result
+        return result
 
     def apply_xor(self, f: int, g: int) -> int:
-        """Exclusive-or — the paper's Boolean difference ``∂f/∂g = f ⊕ g``."""
-        return self.ite(f, self.negate(g), g)
+        """Exclusive-or — the paper's Boolean difference ``∂f/∂g = f ⊕ g``.
+
+        Short-circuits are restricted to cases whose reference evaluation
+        allocates exactly the same nodes (``f ⊕ 1`` builds the complement
+        either way; ``0 ⊕ g`` is *not* short-circuited because the
+        reference eagerly builds ``¬g`` first), keeping bailout behaviour
+        under a node limit bit-identical.
+        """
+        if not hotpath.enabled():
+            return self.ite(f, self.negate(g), g)
+        if g == FALSE:
+            return f
+        if g == TRUE:
+            return self.negate(f)
+        if f == TRUE:
+            return self.negate(g)
+        key = (_OP_XOR, f, g)
+        result = self._cache_op.get(key)
+        if result is None:
+            result = self.ite(f, self.negate(g), g)
+            self._cache_op[key] = result
+        return result
 
     def apply_xnor(self, f: int, g: int) -> int:
         """Equivalence of two functions."""
         return self.negate(self.apply_xor(f, g))
 
     def negate(self, f: int) -> int:
-        """Complement of a function."""
+        """Complement of a function (memoized in both directions)."""
         if f == TRUE:
             return FALSE
         if f == FALSE:
             return TRUE
-        cached = self._cache_not.get(f)
+        cache = self._cache_not
+        cached = cache.get(f)
         if cached is not None:
             return cached
         result = self._mk(self._var[f],
                           self.negate(self._low[f]),
                           self.negate(self._high[f]))
-        self._cache_not[f] = result
-        self._cache_not[result] = f
+        cache[f] = result
+        cache[result] = f
         return result
 
     def and_multi(self, nodes: Iterable[int]) -> int:
@@ -374,6 +502,33 @@ class BddManager:
         """
         self._cache_ite.clear()
         self._cache_not.clear()
+        self._cache_op.clear()
+
+    def reset_for_reuse(self, num_vars: int,
+                        node_limit: Optional[int] = None) -> None:
+        """Recycle this manager as an exact fresh-manager replacement.
+
+        Restores the precise state ``BddManager(num_vars, node_limit)``
+        construction would produce — terminals, then one variable node
+        per index, nothing else — while keeping the already-grown list
+        and dict *capacity*.  The unique table is deliberately **not**
+        kept warm: :attr:`node_limit` counts cumulative allocations, so
+        retained nodes would absorb part of a new client's allocation
+        demand and shift :class:`~repro.errors.BddLimitError` bailout
+        points — and bailout points are part of the engines'
+        bit-identity contract.  After this call every subsequent
+        allocation (and therefore every node id, cache entry, and
+        bailout) replays a fresh manager exactly.
+        """
+        del self._var[2:]
+        del self._low[2:]
+        del self._high[2:]
+        self._unique.clear()
+        self.clear_caches()
+        self._vars.clear()
+        self.node_limit = node_limit
+        for _ in range(num_vars):
+            self.new_var()
 
     def __repr__(self) -> str:
         return f"BddManager(vars={self.num_vars}, nodes={self.num_nodes})"

@@ -12,7 +12,9 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Tuple
 
+from repro import hotpath
 from repro.aig.aig import Aig, lit_node
+from repro.aig.simprogram import pack_rounds, sim_program, wide_mask
 from repro.aig.simulate import po_words, simulate_words
 from repro.sat.equivalence import check_equivalence
 
@@ -35,14 +37,28 @@ def remove_redundancies(aig: Aig, max_checks: Optional[int] = None,
         baseline = aig.cleanup()
         patterns = [[rng.getrandbits(64) for _ in range(aig.num_pis)]
                     for _ in range(sim_rounds)]
-        golden = [po_words(baseline, simulate_words(baseline, words))
-                  for words in patterns]
+        if hotpath.enabled():
+            # Wide hot path: the per-round golden references collapse into
+            # one W x 64-bit PO word list; every candidate clone is then
+            # screened with a single compiled pass instead of *sim_rounds*
+            # interpreted walks.  The refutation decision is identical —
+            # a clone fails iff any round miscompares.
+            packed = pack_rounds(patterns)
+            mask = wide_mask(sim_rounds)
+            program = sim_program(baseline)
+            golden_wide = program.po_words(program.run(packed, mask), mask)
+            wide = (packed, golden_wide, mask)
+            golden = None
+        else:
+            golden = [po_words(baseline, simulate_words(baseline, words))
+                      for words in patterns]
+            wide = None
         for node in list(baseline.topological_order()):
             for keep_index in (0, 1):
                 if max_checks is not None and checks >= max_checks:
                     return removed
                 candidate = _try_edge(baseline, node, keep_index,
-                                      patterns, golden)
+                                      patterns, golden, wide)
                 if candidate is None:
                     continue
                 checks += 1
@@ -60,7 +76,9 @@ def remove_redundancies(aig: Aig, max_checks: Optional[int] = None,
 
 
 def _try_edge(aig: Aig, node: int, keep_index: int,
-              patterns: List[List[int]], golden: List[List[int]]) -> Optional[Aig]:
+              patterns: List[List[int]],
+              golden: Optional[List[List[int]]],
+              wide: Optional[tuple] = None) -> Optional[Aig]:
     """Clone *aig* with one fanin of *node* forced to 1; None if sim refutes."""
     if not aig.is_and(node):
         return None
@@ -74,6 +92,12 @@ def _try_edge(aig: Aig, node: int, keep_index: int,
         return None
     kept = clone.fanins(clone_node)[keep_index]
     clone.replace(clone_node, kept)
+    if wide is not None:
+        packed, golden_wide, mask = wide
+        program = sim_program(clone)
+        if program.po_words(program.run(packed, mask), mask) != golden_wide:
+            return None
+        return clone.cleanup()
     for words, reference in zip(patterns, golden):
         if po_words(clone, simulate_words(clone, words)) != reference:
             return None

@@ -13,8 +13,10 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional
 
+from repro import hotpath
 from repro.aig.aig import Aig, lit, lit_not
-from repro.aig.simulate import simulate_words
+from repro.aig.simprogram import sim_program, wide_mask
+from repro.aig.simulate import WORD_MASK, simulate_words
 from repro.sat.cnf import AigCnf, prove_equivalent
 
 
@@ -36,13 +38,30 @@ def sat_sweep(aig: Aig, num_sim_rounds: int = 8,
         [rng.getrandbits(64) for _ in range(aig.num_pis)]
         for _ in range(num_sim_rounds)
     ]
-    values_per_round = [simulate_words(aig, words) for words in patterns]
+    if hotpath.enabled():
+        # Wide hot path: all rounds in one compiled pass.  Round 0 is
+        # packed into the HIGH 64 bits (matching the reference signature
+        # construction ``sig = (sig << 64) | round_word``), so a node's
+        # wide simulation value IS its fingerprint, bit for bit.
+        program = sim_program(aig)
+        full = wide_mask(num_sim_rounds)
+        packed = [0] * aig.num_pis
+        for r, words in enumerate(patterns):
+            shift = 64 * (num_sim_rounds - 1 - r)
+            for i in range(aig.num_pis):
+                packed[i] |= (words[i] & WORD_MASK) << shift
+        wide_values = program.run(packed, full)
 
-    def signature(node: int) -> int:
-        sig = 0
-        for values in values_per_round:
-            sig = (sig << 64) | values[node]
-        return sig
+        def signature(node: int) -> int:
+            return wide_values[node]
+    else:
+        values_per_round = [simulate_words(aig, words) for words in patterns]
+
+        def signature(node: int) -> int:
+            sig = 0
+            for values in values_per_round:
+                sig = (sig << 64) | values[node]
+            return sig
 
     classes: Dict[int, List[int]] = {}
     order = aig.topological_order()

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Set
 
 from repro import obs
 from repro.aig.aig import Aig, lit, lit_node
+from repro.bdd import pool as bdd_pool
 from repro.bdd.manager import FALSE, BddManager
 from repro.bdd.to_aig import aig_window_to_bdds, bdd_to_aig
 from repro.errors import BddLimitError
@@ -151,88 +152,100 @@ def optimize_partition(aig: Aig, window: Window,
     leaves = window.leaves
     if not leaves:
         return
+    # Hot path: recycle a pooled manager's container capacity instead of
+    # constructing from scratch; reset_for_reuse replays fresh-manager
+    # state exactly, so node ids and bailout points are bit-identical.
+    manager = bdd_pool.acquire(len(leaves), node_limit=config.bdd_node_limit)
     try:
-        manager = BddManager(len(leaves), node_limit=config.bdd_node_limit)
-        leaf_bdds = {leaf: manager.var(i) for i, leaf in enumerate(leaves)}
-        leaf_literals = [2 * leaf for leaf in leaves]
-        # Alg. 2 line 3: precompute and store all BDDs in the hash table.
-        all_bdds = aig_window_to_bdds(aig, window.nodes, leaf_bdds, manager)
-    except BddLimitError:
-        # Even the variable nodes blow the budget: skip the partition, as
-        # the paper's bailout does.
-        stats.bdd_bailouts += 1
-        return
-    if config.reorder:
-        # Extension the paper declines (Section III-C): sift the partition
-        # BDDs to cut memory, paying reordering runtime.
-        reordered = _reorder_partition(manager, all_bdds, leaf_literals)
-        if reordered is None:
+        try:
+            leaf_bdds = {leaf: manager.var(i) for i, leaf in enumerate(leaves)}
+            leaf_literals = [2 * leaf for leaf in leaves]
+            # Alg. 2 line 3: precompute and store all BDDs in the hash table.
+            all_bdds = aig_window_to_bdds(aig, window.nodes, leaf_bdds, manager)
+        except BddLimitError:
+            # Even the variable nodes blow the budget: skip the partition, as
+            # the paper's bailout does.
             stats.bdd_bailouts += 1
             return
-        manager, all_bdds, leaf_literals = reordered
-    # Reverse table: BDD node -> existing AIG literal (first writer wins,
-    # leaves preferred).  Implements Alg. 1 lines 5-7 and the sharing credit.
-    bdd_to_lit: Dict[int, int] = {}
-    for leaf in leaves:
-        bdd_to_lit.setdefault(all_bdds[leaf], 2 * leaf)
-    for n in window.nodes:
-        b = all_bdds.get(n)
-        if b is not None:
-            bdd_to_lit.setdefault(b, 2 * n)
-    supports: Dict[int, int] = {}
+        if config.reorder:
+            # Extension the paper declines (Section III-C): sift the partition
+            # BDDs to cut memory, paying reordering runtime.
+            reordered = _reorder_partition(manager, all_bdds, leaf_literals)
+            if reordered is None:
+                stats.bdd_bailouts += 1
+                return
+            new_manager, all_bdds, leaf_literals = reordered
+            if new_manager is not manager:
+                bdd_pool.release(manager)
+                manager = new_manager
+        # Reverse table: BDD node -> existing AIG literal (first writer wins,
+        # leaves preferred).  Implements Alg. 1 lines 5-7 and the sharing credit.
+        bdd_to_lit: Dict[int, int] = {}
+        for leaf in leaves:
+            bdd_to_lit.setdefault(all_bdds[leaf], 2 * leaf)
+        for n in window.nodes:
+            b = all_bdds.get(n)
+            if b is not None:
+                bdd_to_lit.setdefault(b, 2 * n)
+        supports: Dict[int, int] = {}
 
-    def support_mask(node: int) -> int:
-        mask = supports.get(node)
-        if mask is None:
-            mask = 0
-            for v in manager.support(all_bdds[node]):
-                mask |= 1 << v
-            supports[node] = mask
-        return mask
+        def support_mask(node: int) -> int:
+            mask = supports.get(node)
+            if mask is None:
+                mask = 0
+                for v in manager.support(all_bdds[node]):
+                    mask |= 1 << v
+                supports[node] = mask
+            return mask
 
-    pairs_in_partition = 0
-    candidates = list(window.nodes)
-    for f in candidates:
-        if pairs_in_partition >= config.max_pairs_per_partition:
-            break
-        if aig.is_dead(f) or not aig.is_and(f) or f not in all_bdds:
-            continue
-        bdd_f = all_bdds[f]
-        mffc = aig.mffc_size(f)
-        pairs_for_node = 0
-        for g in candidates:
-            if pairs_for_node >= config.max_pairs_per_node:
+        pairs_in_partition = 0
+        candidates = list(window.nodes)
+        for f in candidates:
+            if pairs_in_partition >= config.max_pairs_per_partition:
                 break
-            if g == f or aig.is_dead(g) or g not in all_bdds:
+            if aig.is_dead(f) or not aig.is_and(f) or f not in all_bdds:
                 continue
-            bdd_g = all_bdds[g]
-            # Trivial-pair filters (Alg. 2 line 9): direct fanins make
-            # degenerate differences, and disjoint supports cannot share.
-            if g in (lit_node(x) for x in aig.fanins(f)):
-                stats.pairs_filtered_inclusion += 1
-                continue
-            shared = support_mask(f) & support_mask(g)
-            if bin(shared).count("1") < config.min_shared_support:
-                stats.pairs_filtered_support += 1
-                continue
-            pairs_for_node += 1
-            pairs_in_partition += 1
-            stats.pairs_tried += 1
-            gain = _try_difference(aig, manager, f, g, bdd_f, bdd_g,
-                                   leaf_literals, bdd_to_lit, mffc,
-                                   config, stats)
-            if gain is not None:
-                stats.rewrites += 1
-                stats.gain += gain
-                # The rewrite may have killed nodes the reverse table still
-                # references; drop stale entries so later builds stay valid.
-                stale = [b for b, l in bdd_to_lit.items()
-                         if aig.is_dead(lit_node(l))]
-                for b in stale:
-                    del bdd_to_lit[b]
-                break  # f was replaced; move to the next node
-    stats.bdd_nodes_allocated += manager.num_nodes
-    manager.clear_caches()
+            bdd_f = all_bdds[f]
+            mffc = aig.mffc_size(f)
+            pairs_for_node = 0
+            for g in candidates:
+                if pairs_for_node >= config.max_pairs_per_node:
+                    break
+                if g == f or aig.is_dead(g) or g not in all_bdds:
+                    continue
+                bdd_g = all_bdds[g]
+                # Trivial-pair filters (Alg. 2 line 9): direct fanins make
+                # degenerate differences, and disjoint supports cannot share.
+                if g in (lit_node(x) for x in aig.fanins(f)):
+                    stats.pairs_filtered_inclusion += 1
+                    continue
+                shared = support_mask(f) & support_mask(g)
+                if bin(shared).count("1") < config.min_shared_support:
+                    stats.pairs_filtered_support += 1
+                    continue
+                pairs_for_node += 1
+                pairs_in_partition += 1
+                stats.pairs_tried += 1
+                gain = _try_difference(aig, manager, f, g, bdd_f, bdd_g,
+                                       leaf_literals, bdd_to_lit, mffc,
+                                       config, stats)
+                if gain is not None:
+                    stats.rewrites += 1
+                    stats.gain += gain
+                    # The rewrite may have killed nodes the reverse table still
+                    # references; drop stale entries so later builds stay valid.
+                    stale = [b for b, l in bdd_to_lit.items()
+                             if aig.is_dead(lit_node(l))]
+                    for b in stale:
+                        del bdd_to_lit[b]
+                    break  # f was replaced; move to the next node
+        stats.bdd_nodes_allocated += manager.num_nodes
+    finally:
+        # Cache clearing is the paper's per-iteration memory discipline;
+        # releasing (hot path) keeps the unique table warm for the next
+        # partition instead of discarding it.
+        manager.clear_caches()
+        bdd_pool.release(manager)
 
 
 def _reorder_partition(manager: BddManager, all_bdds: Dict[int, int],

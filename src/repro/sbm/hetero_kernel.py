@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro import obs
+from repro import hotpath, obs
 from repro.aig.aig import Aig
 from repro.opt.balance import balance
 from repro.parallel.scheduler import register_engine
@@ -153,10 +153,15 @@ def _best_threshold_result(sub: Aig, config: KernelConfig
     base_net = SopNetwork.from_aig(sub)
     base_literals = base_net.total_literals()
     best: Optional[Tuple[int, Aig, int]] = None
+    # Hot path: one content-keyed kernel/saving memo for the whole threshold
+    # sweep — different thresholds eliminate to heavily overlapping covers,
+    # so later thresholds replay most kernel evaluations from cache.
+    kernel_cache: Optional[dict] = {} if hotpath.enabled() else None
     for threshold in config.eliminate_thresholds:
         net = SopNetwork.from_aig(sub)
         net.eliminate(threshold, max_cubes=config.max_cubes)
-        net.extract_kernels(max_rounds=config.kernel_rounds)
+        net.extract_kernels(max_rounds=config.kernel_rounds,
+                            _cache=kernel_cache)
         net.extract_common_cubes(max_rounds=config.kernel_rounds)
         saving = base_literals - net.total_literals()
         candidate = balance(net.to_aig())

@@ -23,8 +23,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro import obs
+from repro import hotpath, obs
 from repro.aig.aig import Aig, lit, lit_node
+from repro.bdd import pool as bdd_pool
 from repro.bdd.manager import FALSE, TRUE, BddManager
 from repro.bdd.to_aig import aig_window_to_bdds
 from repro.errors import BddLimitError
@@ -151,53 +152,68 @@ def optimize_partition(aig: Aig, window: Window, config: MspfConfig,
     if rebuilt is None:
         return
     manager, all_bdds, z_var = rebuilt
-    for n in nodes:
-        if aig.is_dead(n) or not aig.is_and(n) or n not in all_bdds:
-            continue
-        if n in root_set:
-            # Cascade merges during earlier rewrites can promote a member
-            # to the observability boundary; never optimize a current root.
-            continue
-        stats.nodes_processed += 1
-        mspf = _compute_mspf(aig, window, manager, all_bdds, z_var, n,
-                             config, stats)
-        if mspf is None or mspf == FALSE:
-            continue
-        stats.mspf_nonzero += 1
-        try:
-            gain = _resub_under_mspf(aig, window, manager, all_bdds, n, mspf,
-                                     config, stats)
-        except BddLimitError:
-            # Memory-limit bailout (Section IV-C): "the algorithm sets the
-            # BDD size of the node to 0 ... the computation can then
-            # continue by considering the other nodes."
-            stats.bdd_bailouts += 1
-            continue
-        if gain:
-            stats.rewrites += 1
-            stats.gain += gain
-            # Internal functions changed (within their permissible sets) and
-            # cascade merges may have moved the observability boundary:
-            # refresh the whole window and its BDDs before judging further
-            # nodes.
-            refreshed = refresh_window(aig, window)
-            if refreshed is None:
-                return
-            window = refreshed
-            root_set = set(window.roots)
-            alive = list(window.nodes)
-            rebuilt = _window_bdds(aig, window, alive, config)
-            if rebuilt is None:
-                return
-            manager, all_bdds, z_var = rebuilt
+    try:
+        for n in nodes:
+            if aig.is_dead(n) or not aig.is_and(n) or n not in all_bdds:
+                continue
+            if n in root_set:
+                # Cascade merges during earlier rewrites can promote a member
+                # to the observability boundary; never optimize a current root.
+                continue
+            stats.nodes_processed += 1
+            mspf = _compute_mspf(aig, window, manager, all_bdds, z_var, n,
+                                 config, stats)
+            if mspf is None or mspf == FALSE:
+                continue
+            stats.mspf_nonzero += 1
+            try:
+                gain = _resub_under_mspf(aig, window, manager, all_bdds, n,
+                                         mspf, config, stats)
+            except BddLimitError:
+                # Memory-limit bailout (Section IV-C): "the algorithm sets the
+                # BDD size of the node to 0 ... the computation can then
+                # continue by considering the other nodes."
+                stats.bdd_bailouts += 1
+                continue
+            if gain:
+                stats.rewrites += 1
+                stats.gain += gain
+                # Internal functions changed (within their permissible sets)
+                # and cascade merges may have moved the observability
+                # boundary: refresh the whole window and its BDDs before
+                # judging further nodes.
+                refreshed = refresh_window(aig, window)
+                if refreshed is None:
+                    return
+                window = refreshed
+                root_set = set(window.roots)
+                alive = list(window.nodes)
+                # Hot path: recycle the window's own manager (container
+                # capacity, not nodes) instead of constructing a fresh
+                # one per rebuild; reset_for_reuse replays fresh-manager
+                # state exactly.
+                reuse, manager = manager, None
+                rebuilt = _window_bdds(aig, window, alive, config,
+                                       reuse=reuse)
+                if rebuilt is None:
+                    return
+                manager, all_bdds, z_var = rebuilt
+    finally:
+        if manager is not None:
+            bdd_pool.release(manager)
 
 
 def _window_bdds(aig: Aig, window: Window, alive: List[int],
-                 config: MspfConfig):
+                 config: MspfConfig, reuse: Optional[BddManager] = None):
     """(manager, node→bdd, z variable) for the window, or None on bailout."""
+    num_vars = len(window.leaves) + 1
+    if reuse is not None and hotpath.enabled():
+        manager = reuse
+        manager.reset_for_reuse(num_vars, node_limit=config.bdd_node_limit)
+    else:
+        manager = bdd_pool.acquire(num_vars,
+                                   node_limit=config.bdd_node_limit)
     try:
-        manager = BddManager(len(window.leaves) + 1,
-                             node_limit=config.bdd_node_limit)
         z_var = len(window.leaves)
         leaf_bdds = {leaf: manager.var(i)
                      for i, leaf in enumerate(window.leaves)}

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+from repro import hotpath
 from repro.sop.cube import Cube, cube_and, cube_divide
 from repro.sop.sop import Sop
 
@@ -24,6 +25,8 @@ def divide(f: Sop, d: Sop) -> Tuple[Sop, Sop]:
     """
     if d.is_const0():
         return Sop(), f.copy()
+    if hotpath._ENABLED:
+        return _divide_fast(f, d)
     quotient: Optional[set] = None
     for d_cube in d.cubes:
         partial = set()
@@ -43,8 +46,58 @@ def divide(f: Sop, d: Sop) -> Tuple[Sop, Sop]:
     return q_sop, remainder
 
 
+def _divide_fast(f: Sop, d: Sop) -> Tuple[Sop, Sop]:
+    """Inlined-bit-op weak division; same pure result as the reference.
+
+    The quotient is a set intersection, so it is independent of cube
+    iteration order; the remainder is a subset of the (already minimal)
+    cover of *f* in original order, so it can be assigned directly without
+    re-running containment minimization.
+    """
+    f_cubes = f.cubes
+    quotient: Optional[set] = None
+    for dp, dn in d.cubes:
+        partial = set()
+        add = partial.add
+        for fp, fn in f_cubes:
+            if not (dp & ~fp) and not (dn & ~fn):
+                add((fp & ~dp, fn & ~dn))
+        if quotient is None:
+            quotient = partial
+        else:
+            quotient &= partial
+        if not quotient:
+            return Sop(), f.copy()
+    q_sop = Sop(sorted(quotient))
+    product = q_sop & d
+    product_cubes = set(product.cubes)
+    remainder = Sop()
+    remainder.cubes = [c for c in f_cubes if c not in product_cubes]
+    return q_sop, remainder
+
+
 def divide_by_cube(f: Sop, cube: Cube) -> Tuple[Sop, Sop]:
     """Divide by a single cube (cheap special case)."""
+    if hotpath._ENABLED:
+        # Both outputs inherit minimality from *f*: quotients of distinct
+        # cubes of a minimal cover by the same cube stay distinct and
+        # containment-free (the divisor's literals are re-added uniformly),
+        # and the remainder is a subset of *f*'s cover — so neither side
+        # needs add_cube's containment scans.
+        dp, dn = cube
+        q_cubes = []
+        r_cubes = []
+        for c in f.cubes:
+            fp, fn = c
+            if not (dp & ~fp) and not (dn & ~fn):
+                q_cubes.append((fp & ~dp, fn & ~dn))
+            else:
+                r_cubes.append(c)
+        quotient = Sop()
+        quotient.cubes = q_cubes
+        remainder = Sop()
+        remainder.cubes = r_cubes
+        return quotient, remainder
     quotient = Sop()
     remainder = Sop()
     for c in f.cubes:

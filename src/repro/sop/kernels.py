@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro import hotpath
 from repro.sop.cube import Cube, TAUTOLOGY_CUBE, cube_common, cube_num_literals
 from repro.sop.division import divide, divide_by_cube
 from repro.sop.sop import Sop
@@ -81,6 +82,30 @@ def _merge_cubes(*cubes: Cube) -> Cube:
     return (pos, neg)
 
 
+def _support_masks(sop: Sop) -> Tuple[int, int]:
+    """Union of positive / negative literal masks over the cover."""
+    pos = neg = 0
+    for p, n in sop.cubes:
+        pos |= p
+        neg |= n
+    return pos, neg
+
+
+def _node_saving(node: Sop, kernel: Sop) -> int:
+    """Literal saving of rewriting *node* as ``Q·k + R`` (0 when it loses).
+
+    Pure function of the two covers; positive exactly when the reference
+    :func:`kernel_value` loop would count the node as a profitable use.
+    """
+    quotient, remainder = divide(node, kernel)
+    if quotient.is_const0():
+        return 0
+    new_cost = (quotient.num_literals() + quotient.num_cubes()
+                + remainder.num_literals())
+    old_cost = node.num_literals()
+    return old_cost - new_cost if new_cost < old_cost else 0
+
+
 def kernel_value(nodes: Iterable[Sop], kernel: Sop) -> int:
     """Literal saving from extracting *kernel* as a new shared node.
 
@@ -89,6 +114,24 @@ def kernel_value(nodes: Iterable[Sop], kernel: Sop) -> int:
     (kernel literals are paid once).
     """
     kernel_literals = kernel.num_literals()
+    if hotpath._ENABLED:
+        # A node whose cover lacks one of the kernel's literals entirely has
+        # an empty quotient (that kernel cube divides none of its cubes), so
+        # a union-mask screen skips most divisions outright.
+        kp, kn = _support_masks(kernel)
+        total_saving = 0
+        uses = 0
+        for node in nodes:
+            mp, mn = _support_masks(node)
+            if (kp & ~mp) or (kn & ~mn):
+                continue
+            saving = _node_saving(node, kernel)
+            if saving > 0:
+                total_saving += saving
+                uses += 1
+        if uses == 0:
+            return -kernel_literals
+        return total_saving - kernel_literals
     total_saving = 0
     uses = 0
     for node in nodes:
@@ -105,25 +148,78 @@ def kernel_value(nodes: Iterable[Sop], kernel: Sop) -> int:
     return total_saving - kernel_literals
 
 
-def best_kernel(nodes: List[Sop], max_kernels_per_node: int = 50) -> Optional[Tuple[Sop, int]]:
+def best_kernel(nodes: List[Sop], max_kernels_per_node: int = 50,
+                _cache: Optional[dict] = None) -> Optional[Tuple[Sop, int]]:
     """The kernel (from any node) with the best extraction value, or None.
 
     Single-literal "kernels" are excluded (they carry no sharing).  Returns
     ``(kernel, value)`` with value > 0, or None when nothing profitable
     exists.
+
+    *_cache* (hot path only) memoizes across repeated calls on overlapping
+    node sets — the greedy extraction loop re-evaluates a nearly unchanged
+    network every round.  It holds two content-keyed tables: kernel lists
+    per cover (keyed by exact cube order, which kernel enumeration depends
+    on) and per-(node, kernel) saving contributions (keyed by node cube
+    order plus the kernel's canonical sorted-cube form — division results
+    are cover-level and iteration-order independent).  Both are pure
+    functions of cover content, so cached calls are bit-identical replays.
     """
+    if not hotpath._ENABLED:
+        _cache = None
     best: Optional[Sop] = None
     best_value = 0
     seen: set = set()
-    for node in nodes:
-        for kernel, _cokernel in kernels(node, max_kernels_per_node):
+    if _cache is None:
+        for node in nodes:
+            for kernel, _cokernel in kernels(node, max_kernels_per_node):
+                if kernel.num_cubes() < 2:
+                    continue
+                key = tuple(sorted(kernel.cubes))
+                if key in seen:
+                    continue
+                seen.add(key)
+                value = kernel_value(nodes, kernel)
+                if value > best_value:
+                    best_value = value
+                    best = kernel
+        if best is None:
+            return None
+        return best, best_value
+    kernel_cache = _cache.setdefault("kernels", {})
+    saving_cache = _cache.setdefault("saving", {})
+    node_keys = [tuple(node.cubes) for node in nodes]
+    node_masks = [_support_masks(node) for node in nodes]
+    for node, node_key in zip(nodes, node_keys):
+        kernel_list = kernel_cache.get((node_key, max_kernels_per_node))
+        if kernel_list is None:
+            kernel_list = kernels(node, max_kernels_per_node)
+            kernel_cache[(node_key, max_kernels_per_node)] = kernel_list
+        for kernel, _cokernel in kernel_list:
             if kernel.num_cubes() < 2:
                 continue
             key = tuple(sorted(kernel.cubes))
             if key in seen:
                 continue
             seen.add(key)
-            value = kernel_value(nodes, kernel)
+            kernel_literals = kernel.num_literals()
+            kp, kn = _support_masks(kernel)
+            total_saving = 0
+            uses = 0
+            for other, other_key, (mp, mn) in zip(nodes, node_keys,
+                                                  node_masks):
+                if (kp & ~mp) or (kn & ~mn):
+                    continue
+                pair = (other_key, key)
+                saving = saving_cache.get(pair)
+                if saving is None:
+                    saving = _node_saving(other, kernel)
+                    saving_cache[pair] = saving
+                if saving > 0:
+                    total_saving += saving
+                    uses += 1
+            value = (total_saving - kernel_literals if uses
+                     else -kernel_literals)
             if value > best_value:
                 best_value = value
                 best = kernel

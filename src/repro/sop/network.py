@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro import hotpath
 from repro.aig.aig import Aig, lit_is_compl, lit_node, lit_notcond
 from repro.sop.division import divide
 from repro.sop.factor import factored_literal_count, factor, sop_to_aig
@@ -75,8 +76,13 @@ class SopNetwork:
         """Map from node id to the internal nodes using it."""
         out: Dict[int, List[int]] = {}
         for node, sop in self.nodes.items():
-            for f in sop.support():
-                out.setdefault(f, []).append(node)
+            mask = 0
+            for p, n in sop.cubes:
+                mask |= p | n
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                out.setdefault(low.bit_length() - 1, []).append(node)
         return out
 
     def total_literals(self) -> int:
@@ -175,14 +181,16 @@ class SopNetwork:
             for pos, neg in user_sop.cubes:
                 if pos & bit:
                     base = Sop([(pos & ~bit, neg)])
-                    result = result | (base & node_sop)
+                    for cube in (base & node_sop).cubes:
+                        result.add_cube(cube)
                 elif neg & bit:
                     if complement is None:
                         complement = node_sop.complement()
                         if complement is None:
                             return None
                     base = Sop([(pos, neg & ~bit)])
-                    result = result | (base & complement)
+                    for cube in (base & complement).cubes:
+                        result.add_cube(cube)
                 else:
                     result.add_cube((pos, neg))
                 if len(result.cubes) > max_cubes:
@@ -194,17 +202,29 @@ class SopNetwork:
     # -- kernel extraction ------------------------------------------------------------------
 
     def extract_kernels(self, max_rounds: int = 50,
-                        max_kernels_per_node: int = 50) -> int:
+                        max_kernels_per_node: int = 50,
+                        _cache: Optional[dict] = None) -> int:
         """Greedy shared-kernel extraction; returns total literal saving.
 
         Repeatedly finds the kernel with the best network-wide value
         (:func:`repro.sop.kernels.best_kernel`), materializes it as a new
         node, and rewrites every node where dividing by it pays off.
+
+        *_cache* optionally shares the hot path's kernel/saving memo with
+        other extractions over overlapping covers (the heterogeneous
+        threshold sweep re-kernels near-identical networks).
         """
         total_saving = 0
+        # Hot path: memoize kernel enumeration and per-(node, kernel) saving
+        # across rounds — each round rewrites a handful of nodes, so the
+        # content-keyed cache turns the re-evaluation of the unchanged rest
+        # into lookups (same pure results, bit-identical choice sequence).
+        cache: Optional[dict] = None
+        if hotpath.enabled():
+            cache = _cache if _cache is not None else {}
         for _round in range(max_rounds):
             internal = [self.nodes[n] for n in self.topological_order()]
-            found = best_kernel(internal, max_kernels_per_node)
+            found = best_kernel(internal, max_kernels_per_node, _cache=cache)
             if found is None:
                 return total_saving
             kernel, value = found

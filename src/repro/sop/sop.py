@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from repro import hotpath
 from repro.sop.cube import (
     Cube,
     TAUTOLOGY_CUBE,
@@ -51,6 +52,32 @@ class Sop:
 
     def add_cube(self, cube: Cube) -> None:
         """Insert a cube, maintaining single-cube-containment minimality."""
+        if hotpath._ENABLED:
+            # Fused single scan with inlined bit tests: bail on the first
+            # covering cube, and materialize the survivor list lazily only
+            # when the new cube actually swallows an existing one.  Same
+            # final cover (containment minimality is an antichain; the
+            # covered/covering outcomes are order-independent).
+            p, n = cube
+            if p & n:
+                return
+            cubes = self.cubes
+            survivors = None
+            for i, c in enumerate(cubes):
+                ep, en = c
+                if not (ep & ~p) and not (en & ~n):
+                    return  # existing cube already covers the new one
+                if not (p & ~ep) and not (n & ~en):
+                    if survivors is None:
+                        survivors = cubes[:i]
+                elif survivors is not None:
+                    survivors.append(c)
+            if survivors is None:
+                cubes.append(cube)
+            else:
+                survivors.append(cube)
+                self.cubes = survivors
+            return
         if cube_is_contradiction(cube):
             return
         for existing in self.cubes:
@@ -75,7 +102,7 @@ class Sop:
 
     def num_literals(self) -> int:
         """Total literal count — the cost metric of elimination/kerneling."""
-        return sum(cube_num_literals(c) for c in self.cubes)
+        return sum(p.bit_count() + n.bit_count() for p, n in self.cubes)
 
     def support_mask(self) -> int:
         """Bitmask of variables appearing in the cover."""
@@ -91,13 +118,19 @@ class Sop:
 
     def literal_occurrences(self) -> dict:
         """Map from (var, positive) to occurrence count across cubes."""
-        from repro.sop.bitutil import iter_bits
         occ: dict = {}
+        get = occ.get
         for pos, neg in self.cubes:
-            for v in iter_bits(pos):
-                occ[(v, True)] = occ.get((v, True), 0) + 1
-            for v in iter_bits(neg):
-                occ[(v, False)] = occ.get((v, False), 0) + 1
+            while pos:
+                low = pos & -pos
+                pos ^= low
+                key = (low.bit_length() - 1, True)
+                occ[key] = get(key, 0) + 1
+            while neg:
+                low = neg & -neg
+                neg ^= low
+                key = (low.bit_length() - 1, False)
+                occ[key] = get(key, 0) + 1
         return occ
 
     def copy(self) -> "Sop":

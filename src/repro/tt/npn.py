@@ -9,17 +9,88 @@ deterministic and reasonably fast.
 For up to 4 variables we canonicalize exactly by exhausting all
 ``2 * n! * 2**n`` transforms; beyond that a greedy semi-canonical form is used
 (sufficient for hashing, not guaranteed minimal).
+
+Hot path
+--------
+The exhaustive search no longer rebuilds ``permutations(range(n))`` and
+re-applies :meth:`TruthTable.permute`/:meth:`~TruthTable.flip_variable`
+object chains per invocation.  Instead, the per-arity transform set is
+precomputed once at module load (permutation tuples plus, for every
+``(perm, phase)`` pair, byte-indexed lookup tables mapping raw table bits
+straight to transformed bits), and results are memoized in an LRU cache
+keyed by ``(num_vars, bits)`` — cut functions repeat heavily, so most
+canonicalizations are a single dict probe.  The original object-based
+search is retained (:mod:`repro.hotpath` reference path) and the property
+suite proves both return identical ``(canonical, transform)`` pairs.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from itertools import permutations
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
+from repro import hotpath
 from repro.tt.truthtable import TruthTable, table_mask
 
 #: A transform: (output negated, input phase mask, permutation tuple).
 NpnTransform = Tuple[bool, int, Tuple[int, ...]]
+
+#: Per-arity permutation tuples, precomputed once at import (satellite of
+#: the hotpath layer: ``permutations(range(n))`` is never re-enumerated).
+_PERMS: Dict[int, Tuple[Tuple[int, ...], ...]] = {
+    n: tuple(permutations(range(n))) for n in range(5)
+}
+
+
+def _build_transforms(n: int):
+    """Byte-LUT transform set for arity *n* (≤ 4), in search order.
+
+    For every ``(perm, phase)`` pair — iterated exactly like the reference
+    search: permutations in :func:`itertools.permutations` order, phases
+    ascending — the composite row map is
+    ``sigma(R) = sum(((R ^ phase) >> j & 1) << perm[j])``: bit ``R`` of the
+    transformed table reads bit ``sigma(R)`` of the original.  That map is
+    materialized as one (``n <= 3``) or two (``n == 4``) 256-entry lookup
+    tables over the raw table bytes, so applying a transform is two indexed
+    loads and an OR instead of ``2**n`` Python-object operations.
+    """
+    nrows = 1 << n
+    out = []
+    for perm in _PERMS[n]:
+        for phase in range(nrows):
+            # Inverted view: source bit sigma(R) feeds target bit R.
+            target_of_source = [0] * nrows
+            for row in range(nrows):
+                src = 0
+                r = row ^ phase
+                for j in range(n):
+                    if (r >> j) & 1:
+                        src |= 1 << perm[j]
+                target_of_source[src] |= 1 << row
+            if nrows <= 8:
+                width = 1 << nrows
+                lut = [0] * width
+                for x in range(1, width):
+                    lsb = x & -x
+                    lut[x] = lut[x ^ lsb] | target_of_source[lsb.bit_length() - 1]
+                out.append((perm, phase, lut, None))
+            else:  # n == 4: split the 16 table bits into two bytes
+                lo = [0] * 256
+                hi = [0] * 256
+                for x in range(1, 256):
+                    lsb = x & -x
+                    bit = lsb.bit_length() - 1
+                    lo[x] = lo[x ^ lsb] | target_of_source[bit]
+                    hi[x] = hi[x ^ lsb] | target_of_source[bit + 8]
+                out.append((perm, phase, lo, hi))
+    return tuple(out)
+
+
+#: The 4-input transform set (and the cheaper small arities), built once at
+#: module load — the rewrite move canonicalizes 4-input cut functions almost
+#: exclusively.
+_TRANSFORMS = {n: _build_transforms(n) for n in range(5)}
 
 
 def apply_transform(table: TruthTable, transform: NpnTransform) -> TruthTable:
@@ -47,6 +118,42 @@ def invert_transform(transform: NpnTransform, num_vars: int) -> NpnTransform:
     return (out_neg, inv_phase, tuple(inv_perm))
 
 
+@lru_cache(maxsize=1 << 16)
+def _canonical_cached(bits: int, n: int) -> Tuple[int, NpnTransform]:
+    """LRU-cached exhaustive search over the precomputed transform set.
+
+    Iteration order and tie-breaking (strict ``<`` on the integer encoding,
+    output negation tried after the positive phase) replicate the reference
+    search exactly, so the winning transform tuple is identical.
+    """
+    mask = table_mask(n)
+    best_bits = None
+    best_transform: NpnTransform = (False, 0, tuple(range(n)))
+    if n == 4:
+        b_lo = bits & 0xFF
+        b_hi = bits >> 8
+        for perm, phase, lo, hi in _TRANSFORMS[4]:
+            cand = lo[b_lo] | hi[b_hi]
+            if best_bits is None or cand < best_bits:
+                best_bits = cand
+                best_transform = (False, phase, perm)
+            cand ^= mask
+            if cand < best_bits:
+                best_bits = cand
+                best_transform = (True, phase, perm)
+    else:
+        for perm, phase, lut, _hi in _TRANSFORMS[n]:
+            cand = lut[bits]
+            if best_bits is None or cand < best_bits:
+                best_bits = cand
+                best_transform = (False, phase, perm)
+            cand ^= mask
+            if cand < best_bits:
+                best_bits = cand
+                best_transform = (True, phase, perm)
+    return best_bits, best_transform
+
+
 def npn_canonical(table: TruthTable) -> Tuple[TruthTable, NpnTransform]:
     """Exact NPN-canonical representative (minimum integer encoding).
 
@@ -54,6 +161,15 @@ def npn_canonical(table: TruthTable) -> Tuple[TruthTable, NpnTransform]:
     ``apply_transform(table, transform) == canonical``.
     Exhaustive: intended for ``num_vars <= 4``.
     """
+    n = table.num_vars
+    if n <= 4 and hotpath.enabled():
+        bits, transform = _canonical_cached(table.bits, n)
+        return TruthTable(bits, n), transform
+    return _npn_canonical_reference(table)
+
+
+def _npn_canonical_reference(table: TruthTable) -> Tuple[TruthTable, NpnTransform]:
+    """Reference search: per-call transform enumeration over TruthTable ops."""
     n = table.num_vars
     best_bits = None
     best_transform: NpnTransform = (False, 0, tuple(range(n)))
