@@ -1,6 +1,5 @@
 """Ablations of the paper's parameter choices (Sections III-C, IV-A, IV-B)."""
 
-import pytest
 
 from repro.experiments.ablation import (
     ablate_bdd_reordering,

@@ -1,6 +1,5 @@
 """Figure 1 — Boolean difference example (regenerates the figure's claim)."""
 
-import pytest
 
 from repro.experiments.fig1 import format_result, run_fig1
 

@@ -5,7 +5,6 @@ the monolithic run is feasible at seconds scale on the scaled benchmarks and
 tries thousands of pairs (the quadratic enumeration with its filters).
 """
 
-import pytest
 
 from repro.experiments.runtime import format_results, run_monolithic
 

@@ -6,7 +6,6 @@ tie) the area category on most benchmarks — the paper improved 12 best-known
 results.  Set ``REPRO_BENCH_FULL=1`` for all 12 Table I benchmarks.
 """
 
-import pytest
 
 from benchmarks.conftest import full_run
 from repro.experiments.table1 import format_results, run_table1

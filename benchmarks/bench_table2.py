@@ -6,7 +6,6 @@ matching "the size of the AIGs is smaller as compared to the
 state-of-the-art".  ``REPRO_BENCH_FULL=1`` runs all 13 Table II benchmarks.
 """
 
-import pytest
 
 from benchmarks.conftest import full_run
 from repro.experiments.table2 import format_results, run_table2

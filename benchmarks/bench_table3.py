@@ -7,7 +7,6 @@ power, does not worsen TNS, and costs extra runtime.  The default runs 4
 designs; ``REPRO_BENCH_FULL=1`` runs all 33.
 """
 
-import pytest
 
 from benchmarks.conftest import full_run
 from repro.experiments.table3 import format_summary, run_table3

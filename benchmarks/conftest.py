@@ -9,6 +9,10 @@ Environment knobs:
 
 * ``REPRO_BENCH_FULL=1`` — run every benchmark of each table instead of the
   representative subset (hours of pure-Python runtime).
+* ``REPRO_BENCH_CACHE_DIR=DIR`` — activate the campaign result cache
+  (``repro.campaign``) for every flow the benchmarks run: a table rerun
+  against a warm cache replays stored networks instead of re-optimizing,
+  so only mapping/verification/baseline time is measured again.
 """
 
 import os
@@ -16,8 +20,20 @@ import os
 import pytest
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE_DIR") or None
 
 
 def full_run() -> bool:
     """True when the exhaustive benchmark sweep was requested."""
     return FULL
+
+
+@pytest.fixture(autouse=True)
+def _campaign_cache():
+    """Route every benchmark's flows through REPRO_BENCH_CACHE_DIR, if set."""
+    if CACHE_DIR is None:
+        yield
+        return
+    from repro.campaign.cache import cache_context
+    with cache_context(CACHE_DIR):
+        yield

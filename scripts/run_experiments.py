@@ -8,9 +8,16 @@ are written batch-by-batch so partial runs still produce usable rows.
 
 Usage:  python scripts/run_experiments.py [--fast] [--jobs N]
                                           [--trace] [--report-json PATH]
+                                          [--cache-dir DIR]
 
 ``--jobs N`` (or ``-j N``) fans the partition-based engines out over N
 worker processes (0 = all cores); results are identical to the serial run.
+
+``--cache-dir DIR`` activates the campaign result cache
+(``repro.campaign``): every ``sbm_flow`` invocation inside the experiment
+sweep is keyed by (network, config, code version) and replayed from DIR
+when already computed — a warm rerun only pays for mapping, equivalence
+checking, and the baseline scripts.
 
 ``--trace`` enables the ``repro.obs`` tracer and writes the span/metrics
 tables to ``results/obs_trace.txt``; ``--report-json PATH`` writes the
@@ -59,12 +66,12 @@ def parse_jobs(argv) -> int:
     return jobs
 
 
-def parse_report_json(argv):
-    """Read ``--report-json PATH`` (or ``--report-json=PATH``) from *argv*."""
+def parse_value(argv, flag):
+    """Read ``flag PATH`` (or ``flag=PATH``) from *argv*."""
     for i, arg in enumerate(argv):
-        if arg == "--report-json" and i + 1 < len(argv):
+        if arg == flag and i + 1 < len(argv):
             return argv[i + 1]
-        if arg.startswith("--report-json="):
+        if arg.startswith(flag + "="):
             return arg.split("=", 1)[1]
     return None
 
@@ -73,15 +80,42 @@ def main() -> None:
     fast = "--fast" in sys.argv
     jobs = parse_jobs(sys.argv)
     trace = "--trace" in sys.argv
-    report_json = parse_report_json(sys.argv)
+    report_json = parse_value(sys.argv, "--report-json")
+    cache_dir = parse_value(sys.argv, "--cache-dir")
     session = None
     if trace or report_json:
         from repro import obs
         session = obs.enable()
+    from repro.campaign.cache import cache_context
     from repro.sbm.config import FlowConfig
 
     flow = FlowConfig(iterations=1, jobs=jobs)
     t0 = time.time()
+    with cache_context(cache_dir):
+        _run_all(fast, flow, t0)
+
+    if session is not None:
+        from repro import obs
+        from repro.obs.report import (
+            build_report,
+            format_metrics_table,
+            format_trace_table,
+            write_report,
+        )
+        obs.disable()
+        if trace:
+            table = format_trace_table(
+                [s.to_dict() for s in session.tracer.roots])
+            save("obs_trace.txt",
+                 table + "\n" + format_metrics_table(session.metrics.to_dict()))
+        if report_json:
+            report = build_report(session,
+                                  command=" ".join(sys.argv[1:]))
+            write_report(report_json, report)
+            print(f"run report written to {report_json}")
+
+
+def _run_all(fast: bool, flow, t0: float) -> None:
 
     if not done("fig1.txt"):
         from repro.experiments.fig1 import format_result, run_fig1
@@ -155,26 +189,6 @@ def main() -> None:
                 save(artifact, fmt_t2(rows))
 
     save("DONE.txt", f"experiments finished in {time.time() - t0:.0f}s")
-
-    if session is not None:
-        from repro import obs
-        from repro.obs.report import (
-            build_report,
-            format_metrics_table,
-            format_trace_table,
-            write_report,
-        )
-        obs.disable()
-        if trace:
-            table = format_trace_table(
-                [s.to_dict() for s in session.tracer.roots])
-            save("obs_trace.txt",
-                 table + "\n" + format_metrics_table(session.metrics.to_dict()))
-        if report_json:
-            report = build_report(session,
-                                  command=" ".join(sys.argv[1:]))
-            write_report(report_json, report)
-            print(f"run report written to {report_json}")
 
 
 if __name__ == "__main__":

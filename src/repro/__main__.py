@@ -11,6 +11,12 @@ Commands
 ``ablation``             parameter ablations (Sections III-C, IV-A, IV-B)
 ``optimize <file.aag>``  run the SBM flow on an ASCII AIGER file
 ``bench <name>``         print a benchmark's statistics
+``campaign <suite.toml | names...>``
+                         run a batch of (benchmark × config) jobs through
+                         one shared worker pool and the persistent result
+                         cache (``repro.campaign``); ``--cache-dir DIR``
+                         selects the cache, ``--iterations N`` the flow
+                         depth for ad-hoc benchmark lists
 
 Options
 -------
@@ -158,6 +164,8 @@ class GuardOptions:
         self.resume = resume
         self.chaos_seed = chaos_seed
         self.interrupt_after = interrupt_after
+        self.cache_dir: Optional[str] = None
+        self.iterations: Optional[int] = None
 
 
 def main(argv=None) -> int:
@@ -165,6 +173,10 @@ def main(argv=None) -> int:
     args, jobs = _extract_jobs(args)
     args, trace, trace_jsonl, report_json = _extract_obs(args)
     args, guard_opts = _extract_guard(args)
+    args, cache_dir = _extract_value_flag(args, "--cache-dir")
+    args, iterations = _extract_value_flag(args, "--iterations")
+    guard_opts.cache_dir = cache_dir
+    guard_opts.iterations = int(iterations) if iterations is not None else None
     if not args:
         print(__doc__)
         return 1
@@ -293,6 +305,8 @@ def _dispatch(command: str, rest: List[str], jobs: int,
             print(f"written to {rest[1]}")
         if not ok:
             return 1
+    elif command == "campaign":
+        return _run_campaign_command(rest, jobs, guard_opts, chaos_plan)
     elif command == "bench":
         from repro.bench.registry import benchmark_names, get_benchmark
         names = rest or benchmark_names()
@@ -303,6 +317,48 @@ def _dispatch(command: str, rest: List[str], jobs: int,
         print(__doc__)
         return 1
     return 0
+
+
+def _run_campaign_command(rest: List[str], jobs: int,
+                          guard_opts: GuardOptions, chaos_plan) -> int:
+    """``python -m repro campaign <suite.toml | benchmark names...>``."""
+    import dataclasses
+    import os
+    from repro.campaign import jobs_from_benchmarks, load_suite, run_campaign
+    from repro.sbm.config import FlowConfig
+    if not rest:
+        raise SystemExit("campaign requires a suite.toml or benchmark names")
+    if len(rest) == 1 and os.path.exists(rest[0]):
+        suite, campaign_jobs = load_suite(rest[0])
+    else:
+        config = FlowConfig(iterations=guard_opts.iterations or 1)
+        suite = "adhoc"
+        campaign_jobs = jobs_from_benchmarks(rest, config=config)
+    if chaos_plan is not None:
+        # Chaos makes every job uncacheable (time/fault-dependent results);
+        # verification keeps corrupt-result faults from reaching the output.
+        campaign_jobs = [
+            dataclasses.replace(job, config=dataclasses.replace(
+                job.config, chaos=chaos_plan, verify_each_step=True))
+            for job in campaign_jobs]
+    report = run_campaign(campaign_jobs, cache_dir=guard_opts.cache_dir,
+                          workers=jobs, suite=suite)
+    for row in report.results:
+        line = (f"{row.name:16s} {row.outcome:8s} "
+                f"{row.nodes_before:6d} -> {row.nodes_after:6d}  "
+                f"{row.wall_s:7.2f}s")
+        if row.error:
+            line += f"  {row.error}"
+        print(line)
+    print(f"campaign '{report.suite}': {report.jobs} jobs  "
+          f"hits={report.hits} misses={report.misses} "
+          f"dedup={report.deduped} uncached={report.uncached} "
+          f"errors={report.errors}")
+    print(f"  elapsed={report.elapsed_s:.2f}s  "
+          f"stolen_windows={report.stolen_windows}  "
+          f"pool_rebuilds={report.pool_rebuilds}  "
+          f"corrupt_entries={report.corrupt_entries}")
+    return 1 if report.errors else 0
 
 
 if __name__ == "__main__":

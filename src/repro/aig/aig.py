@@ -24,7 +24,7 @@ that Maximum Fanout-Free Cones (MFFCs) can be measured cheaply.
 from __future__ import annotations
 
 from itertools import count
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import AigError
 

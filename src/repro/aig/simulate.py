@@ -21,7 +21,7 @@ in a single pass over W×64-bit integers.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro import hotpath
 from repro.aig.aig import Aig, lit_is_compl, lit_node

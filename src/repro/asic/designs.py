@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, List, Tuple
+from typing import List
 
 from repro.aig.aig import Aig, lit_not
 from repro.aig.compose import (

@@ -16,14 +16,14 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.aig.aig import Aig
-from repro.asic.place import Placement, place
-from repro.asic.power import PowerReport, analyze_power
-from repro.asic.sta import TimingReport, analyze_timing
+from repro.asic.place import place
+from repro.asic.power import analyze_power
+from repro.asic.sta import analyze_timing
 from repro.asic.techmap import Netlist, tech_map
-from repro.opt.scripts import quick_optimize, resyn2rs
+from repro.campaign.cache import cached_sbm_flow
+from repro.opt.scripts import resyn2rs
 from repro.sat.equivalence import check_equivalence
 from repro.sbm.config import FlowConfig
-from repro.sbm.flow import sbm_flow
 
 
 @dataclass
@@ -59,7 +59,8 @@ def proposed_flow(aig: Aig, clock_period: float, verify: bool = True,
     start = time.time()
     optimized = resyn2rs(aig.cleanup(), max_iterations=1)
     config = sbm_config or FlowConfig(iterations=1)
-    optimized, _stats = sbm_flow(optimized, config)
+    # Routes through the campaign result cache when one is active.
+    optimized, _stats, _hit, _key = cached_sbm_flow(optimized, config)
     return _implement(aig, optimized, clock_period, "proposed",
                       time.time() - start, verify, keep_netlist)
 

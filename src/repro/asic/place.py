@@ -11,7 +11,7 @@ net-count discipline the paper enforces during synthesis.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.asic.techmap import Gate, Netlist

@@ -8,11 +8,11 @@ and the two summary metrics of Table III: WNS (worst negative slack) and TNS
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.asic.place import Placement, wire_capacitance
-from repro.asic.techmap import Gate, Netlist
+from repro.asic.techmap import Netlist
 
 
 @dataclass

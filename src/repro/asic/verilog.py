@@ -9,14 +9,14 @@ behavioural primitives so the output is simulable by any Verilog tool.
 from __future__ import annotations
 
 import io
-from typing import Dict, List, Set, TextIO, Union
+from typing import Set, TextIO, Union
 
 from repro.asic.celllib import Cell, CellLibrary
-from repro.asic.techmap import Gate, Netlist
+from repro.asic.techmap import Netlist
 from repro.tt.truthtable import TruthTable
 from repro.tt.isop import isop_table
 from repro.sop.sop import Sop
-from repro.sop.factor import factor, factored_pretty
+from repro.sop.factor import factor
 
 
 def _verilog_expression(cell: Cell) -> str:

@@ -28,7 +28,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro import hotpath
-from repro.errors import BddLimitError, ReproError
+from repro.errors import BddLimitError
 
 FALSE = 0  #: terminal node for constant 0
 TRUE = 1   #: terminal node for constant 1

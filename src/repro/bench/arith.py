@@ -16,7 +16,7 @@ from __future__ import annotations
 import math
 from typing import List
 
-from repro.aig.aig import CONST0, CONST1, Aig, lit_not
+from repro.aig.aig import CONST0, Aig, lit_not
 from repro.aig.compose import (
     barrel_shifter,
     constant_word,

@@ -19,9 +19,9 @@ regenerate their *functions* structurally:
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import List
 
-from repro.aig.aig import CONST0, CONST1, Aig, lit_not
+from repro.aig.aig import CONST0, Aig, lit_not
 from repro.aig.compose import (
     constant_word,
     decoder,
@@ -219,7 +219,6 @@ def max_unit(width: int = 128, operands: int = 4) -> Aig:
     The native profile (512 in / 130 out) corresponds to four 128-bit
     operands with a 128-bit value output and a 2-bit argmax.
     """
-    from repro.aig.compose import max_word
     aig = Aig(f"max{operands}x{width}")
     words = [aig.add_pis(width, f"w{i}_") for i in range(operands)]
     best = words[0]

@@ -1,0 +1,50 @@
+"""Cross-run campaign orchestration with a persistent result cache.
+
+``repro.campaign`` runs many (benchmark × FlowConfig) jobs as one batch:
+
+* :mod:`repro.campaign.runner` — the orchestrator: one shared
+  :class:`~repro.parallel.shared_pool.SharedProcessPool` for every flow
+  (work stealing across benchmarks), per-job telemetry collectors merged
+  back in deterministic job order, within-campaign dedup of identical
+  jobs;
+* :mod:`repro.campaign.cache` — the crash-safe content-addressed result
+  cache keyed by SHA-256 of (network, semantic config, code version);
+  warm hits decode to networks bit-identical to the cold run;
+* :mod:`repro.campaign.suite` — TOML suite files describing campaigns.
+
+CLI: ``python -m repro campaign <suite.toml | benchmark...>
+--cache-dir DIR --jobs N --report-json PATH``.
+"""
+
+from repro.campaign.cache import (
+    CacheEntry,
+    ResultCache,
+    active_cache,
+    cache_context,
+    cached_sbm_flow,
+    canonical_flow_config,
+    flow_cache_key,
+)
+from repro.campaign.runner import (
+    CampaignJob,
+    CampaignReport,
+    JobResult,
+    run_campaign,
+)
+from repro.campaign.suite import jobs_from_benchmarks, load_suite
+
+__all__ = [
+    "CacheEntry",
+    "CampaignJob",
+    "CampaignReport",
+    "JobResult",
+    "ResultCache",
+    "active_cache",
+    "cache_context",
+    "cached_sbm_flow",
+    "canonical_flow_config",
+    "flow_cache_key",
+    "jobs_from_benchmarks",
+    "load_suite",
+    "run_campaign",
+]

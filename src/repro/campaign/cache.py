@@ -1,0 +1,326 @@
+"""Persistent content-addressed result cache for campaign runs.
+
+A campaign re-runs the same (benchmark, flow configuration) pairs over and
+over — across CI pushes, nightly sweeps, and local experiment iterations —
+and the flow is deterministic, so most of that work is recomputation.  The
+cache keys each job by **content**, never by name:
+
+    key = SHA-256( canonical network JSON
+                 + canonical semantic FlowConfig
+                 + code-version salt )
+
+* The network is serialized through the :class:`~repro.parallel.window_io
+  .CompactAig` layout (the same byte-stable encoding the checkpoint layer
+  uses), so two structurally identical AIGs share a key regardless of how
+  they were produced.
+* The config canonicalization (:func:`canonical_flow_config`) allowlists
+  only fields that change the *result*.  Execution-side knobs — ``jobs``,
+  ``checkpoint_dir``, ``pool`` — are excluded: the parallel contract
+  guarantees bit-identical results for every ``jobs`` value, so a serial
+  cold run and a 8-way warm run share entries.
+* :data:`repro.hotpath.CODE_VERSION` is salted in so bumping the engine
+  version invalidates every stale entry at once (partial invalidation:
+  entries under other salts stay untouched on disk and simply stop
+  matching).
+
+Runs that are **not** pure functions of (network, config) are uncacheable
+and must bypass the cache entirely: chaos fault injection and wall-clock
+budgets (``flow_timeout_s`` / ``window_timeout_s``) make the result depend
+on timing or the fault plan.  :func:`flow_cache_key` returns ``None`` for
+those, and the campaign runner reports them under ``uncached``.
+
+Entries are committed with the checkpoint layer's temp + fsync + rename
+discipline, so a crash mid-write can never leave a half entry that later
+reads as a hit; a corrupt or truncated entry (killed writer on a non-atomic
+filesystem, manual tampering) is detected, counted, unlinked, and treated
+as a miss — never an exception.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import hashlib
+import json
+import os
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro import hotpath
+from repro.aig.aig import Aig
+from repro.guard.checkpoint import atomic_write_text
+from repro.partition.partitioner import PartitionConfig
+from repro.sbm.config import FlowConfig
+
+#: Bump when the entry layout (not the flow semantics) changes.
+CACHE_SCHEMA = "repro.campaign/cache-v1"
+
+
+# -- canonical forms -----------------------------------------------------------
+
+def canonical_network(aig: Aig) -> Dict[str, Any]:
+    """Order-stable CompactAig dict of *aig*; the network part of the key."""
+    from repro.parallel.window_io import CompactAig
+    compact = CompactAig.from_aig(aig)
+    # ``name`` is labeling, not structure: two renamed copies of the same
+    # network must share a cache entry.
+    return {"num_pis": compact.num_pis,
+            "gates": [list(gate) for gate in compact.gates],
+            "outputs": list(compact.outputs)}
+
+
+def _partition_dict(config: Optional[PartitionConfig]) -> Optional[Dict[str, int]]:
+    if config is None:
+        return None
+    return {"max_levels": config.max_levels,
+            "max_size": config.max_size,
+            "max_leaves": config.max_leaves}
+
+
+def canonical_flow_config(config: FlowConfig) -> Optional[Dict[str, Any]]:
+    """Semantic fields of *config* as a canonical dict, or ``None``.
+
+    ``None`` means the run is uncacheable: chaos injection and wall-clock
+    budgets make the result a function of timing/faults, not just of
+    (network, config).  Execution-side fields (``jobs``, ``checkpoint_dir``,
+    ``pool``) are deliberately absent — they change *where* windows run,
+    never what they compute.
+    """
+    if config.chaos is not None:
+        return None
+    if config.flow_timeout_s is not None or config.window_timeout_s is not None:
+        return None
+    bdiff = config.boolean_difference
+    return {
+        "iterations": config.iterations,
+        "max_depth_growth": config.max_depth_growth,
+        "enable_sat_sweep": config.enable_sat_sweep,
+        "enable_redundancy_removal": config.enable_redundancy_removal,
+        "verify_each_step": config.verify_each_step,
+        "boolean_difference": {
+            "xor_cost": bdiff.xor_cost,
+            "bdd_size_limit": bdiff.bdd_size_limit,
+            "bdd_node_limit": bdiff.bdd_node_limit,
+            "max_pairs_per_node": bdiff.max_pairs_per_node,
+            "max_pairs_per_partition": bdiff.max_pairs_per_partition,
+            "min_shared_support": bdiff.min_shared_support,
+            "max_inclusion": bdiff.max_inclusion,
+            "accept_zero_gain": bdiff.accept_zero_gain,
+            "reorder": bdiff.reorder,
+            "partition": _partition_dict(bdiff.partition),
+        },
+        "mspf": {
+            "bdd_node_limit": config.mspf.bdd_node_limit,
+            "max_connectable_fanins": config.mspf.max_connectable_fanins,
+            "partition": _partition_dict(config.mspf.partition),
+        },
+        "kernel": {
+            "eliminate_thresholds": list(config.kernel.eliminate_thresholds),
+            "max_cubes": config.kernel.max_cubes,
+            "kernel_rounds": config.kernel.kernel_rounds,
+            "partition": _partition_dict(config.kernel.partition),
+        },
+        "gradient": {
+            "cost_budget": config.gradient.cost_budget,
+            "window_k": config.gradient.window_k,
+            "min_gain_gradient": config.gradient.min_gain_gradient,
+            "budget_extension": config.gradient.budget_extension,
+            "partition": _partition_dict(config.gradient.partition),
+        },
+    }
+
+
+def flow_cache_key(aig: Aig, config: FlowConfig) -> Optional[str]:
+    """SHA-256 cache key of running ``sbm_flow(aig, config)``, or ``None``.
+
+    The key is a hash of a canonical JSON document — sorted keys, no
+    whitespace variance — so it is stable across processes, platforms, and
+    dict-ordering accidents.  ``None`` marks the job uncacheable (see
+    :func:`canonical_flow_config`).
+    """
+    semantic = canonical_flow_config(config)
+    if semantic is None:
+        return None
+    document = {
+        "schema": CACHE_SCHEMA,
+        "code": hotpath.CODE_VERSION,
+        "network": canonical_network(aig),
+        "config": semantic,
+    }
+    payload = json.dumps(document, sort_keys=True,
+                         separators=(",", ":")).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+# -- the on-disk cache ---------------------------------------------------------
+
+@dataclasses.dataclass
+class CacheEntry:
+    """One decoded cache hit: the result network plus its flow record."""
+
+    key: str
+    network: Aig
+    stats: Dict[str, Any]           #: ``FlowStats.to_dict()`` of the cold run
+    nodes_before: int
+    nodes_after: int
+
+
+class ResultCache:
+    """Crash-safe content-addressed store of finished flow results.
+
+    Layout: ``<root>/<key[:2]>/<key>.json`` (two-level fanout keeps any
+    single directory small on big campaigns).  Every entry is one JSON
+    document carrying its own key, the code salt, the CompactAig result,
+    and the cold run's ``FlowStats`` dict; :meth:`lookup` re-checks the
+    embedded key and salt, so a moved, truncated, or stale file can only
+    ever read as a miss.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.stores = 0
+
+    def path(self, key: str) -> str:
+        """Absolute path of *key*'s entry file (existing or not)."""
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def lookup(self, key: str) -> Optional[CacheEntry]:
+        """Decode the entry for *key*; corrupt/stale entries count as misses."""
+        path = self.path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                raw = handle.read()
+        except OSError:
+            self.misses += 1
+            return None
+        entry = self._decode(key, raw)
+        if entry is None:
+            # Self-heal: a corrupt entry would otherwise miss forever while
+            # still occupying its key's slot.
+            self.corrupt += 1
+            self.misses += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return entry
+
+    def _decode(self, key: str, raw: str) -> Optional[CacheEntry]:
+        from repro.parallel.window_io import CompactAig
+        try:
+            data = json.loads(raw)
+            if data.get("schema") != CACHE_SCHEMA:
+                return None
+            if data.get("key") != key:
+                return None
+            if data.get("code") != hotpath.CODE_VERSION:
+                return None
+            net = data["network"]
+            compact = CompactAig(num_pis=int(net["num_pis"]),
+                                 gates=[tuple(gate) for gate in net["gates"]],
+                                 outputs=list(net["outputs"]),
+                                 name=str(net.get("name", "")))
+            network = compact.to_aig()
+            stats = data["stats"]
+            if not isinstance(stats, dict):
+                return None
+            return CacheEntry(key=key, network=network, stats=stats,
+                              nodes_before=int(data["nodes_before"]),
+                              nodes_after=int(data["nodes_after"]))
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def store(self, key: str, network: Aig, stats: Dict[str, Any],
+              nodes_before: int) -> None:
+        """Commit a finished result under *key* (atomic write-then-rename)."""
+        from repro.parallel.window_io import CompactAig
+        compact = CompactAig.from_aig(network)
+        document = {
+            "schema": CACHE_SCHEMA,
+            "key": key,
+            "code": hotpath.CODE_VERSION,
+            "network": {"num_pis": compact.num_pis,
+                        "gates": [list(gate) for gate in compact.gates],
+                        "outputs": list(compact.outputs),
+                        "name": compact.name},
+            "stats": stats,
+            "nodes_before": nodes_before,
+            "nodes_after": network.num_ands,
+        }
+        path = self.path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        atomic_write_text(path, json.dumps(document, sort_keys=True) + "\n")
+        self.stores += 1
+
+    def __len__(self) -> int:
+        count = 0
+        for _dirpath, _dirnames, filenames in os.walk(self.root):
+            count += sum(1 for name in filenames if name.endswith(".json"))
+        return count
+
+
+# -- the process-wide active cache ---------------------------------------------
+#
+# Deep call sites — the experiment tables, the ASIC flow inside Table III —
+# invoke ``sbm_flow`` several layers below anything that knows about
+# campaigns.  Instead of threading a cache argument through every layer,
+# ``cache_context`` installs one process-wide cache that
+# :func:`cached_sbm_flow` falls back to when no explicit cache is given.
+
+_ACTIVE: Optional[ResultCache] = None
+
+
+def active_cache() -> Optional[ResultCache]:
+    """The cache installed by :func:`cache_context`, or ``None``."""
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def cache_context(cache_dir: Optional[str]) -> Iterator[Optional[ResultCache]]:
+    """Install a process-wide result cache for the duration of the block.
+
+    ``None`` is a no-op context, so callers can forward an optional
+    ``--cache-dir`` flag unconditionally.  Contexts nest; the innermost
+    wins.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    cache = ResultCache(cache_dir) if cache_dir is not None else previous
+    _ACTIVE = cache
+    try:
+        yield cache
+    finally:
+        _ACTIVE = previous
+
+
+def cached_sbm_flow(aig: Aig, config: FlowConfig,
+                    cache: Optional[ResultCache] = None,
+                    ) -> Tuple[Aig, Any, bool, Optional[str]]:
+    """Run ``sbm_flow`` through *cache*: ``(result, stats, hit, key)``.
+
+    On a hit the returned network is decoded from the stored CompactAig —
+    bit-identical to what the cold run produced (the warm == cold
+    contract) — and *stats* is the cold run's ``FlowStats.to_dict()`` dict
+    rather than a live ``FlowStats`` object.  On a miss (or with no cache,
+    or an uncacheable config) the flow runs and, when cacheable, the result
+    is committed before returning.  With no explicit *cache* the
+    process-wide one from :func:`cache_context` applies, if any.
+    """
+    from repro.sbm.flow import sbm_flow
+    if cache is None:
+        cache = _ACTIVE
+    key = flow_cache_key(aig, config) if cache is not None else None
+    if key is not None and cache is not None:
+        entry = cache.lookup(key)
+        if entry is not None:
+            return entry.network, entry.stats, True, key
+    nodes_before = aig.num_ands
+    result, stats = sbm_flow(aig, config)
+    if key is not None and cache is not None:
+        cache.store(key, result, stats.to_dict(), nodes_before)
+    return result, stats, False, key

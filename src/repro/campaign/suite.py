@@ -1,0 +1,95 @@
+"""Campaign suite files: a TOML description of (benchmark × config) jobs.
+
+A suite file keeps nightly/CI campaign definitions in the repo instead of
+in shell scripts::
+
+    name = "epfl-quick"
+
+    [defaults]            # applied to every job, overridable per job
+    iterations = 1
+    scaled = true
+
+    [[jobs]]
+    benchmark = "router"
+
+    [[jobs]]
+    benchmark = "i2c"
+    iterations = 2        # per-job override
+    name = "i2c-deep"     # optional label (default: benchmark[@k])
+
+Per-job (and ``[defaults]``) keys are the *semantic* scalar knobs of
+:class:`~repro.sbm.config.FlowConfig` — the fields that enter the cache
+key — plus ``scaled``/``name``/``benchmark``.  Execution-side knobs
+(worker count, cache directory) come from the CLI, never from the suite:
+the same suite file must produce the same cache keys everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+import tomllib
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.runner import CampaignJob
+from repro.sbm.config import FlowConfig
+
+#: suite keys forwarded verbatim into ``FlowConfig(...)``
+_CONFIG_KEYS = ("iterations", "max_depth_growth", "enable_sat_sweep",
+                "enable_redundancy_removal", "verify_each_step")
+_JOB_KEYS = _CONFIG_KEYS + ("benchmark", "name", "scaled")
+
+
+def _build_config(entry: Dict[str, Any], defaults: Dict[str, Any]
+                  ) -> FlowConfig:
+    kwargs = {}
+    for key in _CONFIG_KEYS:
+        if key in entry:
+            kwargs[key] = entry[key]
+        elif key in defaults:
+            kwargs[key] = defaults[key]
+    return FlowConfig(**kwargs)
+
+
+def load_suite(path: str) -> Tuple[str, List[CampaignJob]]:
+    """Parse a suite TOML file into ``(suite_name, jobs)``."""
+    with open(path, "rb") as handle:
+        data = tomllib.load(handle)
+    name = data.get("name") or os.path.splitext(os.path.basename(path))[0]
+    defaults = data.get("defaults", {})
+    for key in defaults:
+        if key not in _CONFIG_KEYS and key != "scaled":
+            raise ValueError(f"{path}: unknown [defaults] key {key!r}")
+    entries = data.get("jobs")
+    if not entries:
+        raise ValueError(f"{path}: no [[jobs]] entries")
+    jobs: List[CampaignJob] = []
+    seen: Dict[str, int] = {}
+    for entry in entries:
+        for key in entry:
+            if key not in _JOB_KEYS:
+                raise ValueError(f"{path}: unknown job key {key!r}")
+        benchmark = entry.get("benchmark")
+        if not benchmark:
+            raise ValueError(f"{path}: job without a benchmark")
+        label = entry.get("name") or benchmark
+        if label in seen:
+            seen[label] += 1
+            label = f"{label}@{seen[label]}"
+        else:
+            seen[label] = 0
+        jobs.append(CampaignJob(
+            name=label,
+            benchmark=benchmark,
+            config=_build_config(entry, defaults),
+            scaled=bool(entry.get("scaled", defaults.get("scaled", True)))))
+    return str(name), jobs
+
+
+def jobs_from_benchmarks(benchmarks: Sequence[str],
+                         config: Optional[FlowConfig] = None,
+                         scaled: bool = True) -> List[CampaignJob]:
+    """Ad-hoc job list: one job per benchmark name, one shared config."""
+    config = config or FlowConfig()
+    return [CampaignJob(name=name, benchmark=name, config=config,
+                        scaled=scaled)
+            for name in benchmarks]

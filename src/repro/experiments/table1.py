@@ -16,12 +16,12 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.bench.registry import BENCHMARKS, TABLE1_BENCHMARKS, get_benchmark
+from repro.campaign.cache import cached_sbm_flow
 from repro.experiments.report import Row, format_table
 from repro.mapping.lut import map_luts
 from repro.opt.scripts import resyn2rs
 from repro.sat.equivalence import check_equivalence
 from repro.sbm.config import FlowConfig
-from repro.sbm.flow import sbm_flow
 
 
 @dataclass
@@ -60,10 +60,14 @@ def run_table1(benchmarks: Optional[Sequence[str]] = None,
         base_map = map_luts(baseline, k=6)
         # The paper both re-optimizes the original unoptimized AIGs and runs
         # "over previous best results" (Section V-B); reproduce by starting
-        # the SBM flow from each and keeping the better LUT mapping.
-        optimized, _stats = sbm_flow(original, flow_config)
+        # the SBM flow from each and keeping the better LUT mapping.  Flows
+        # route through the campaign result cache when one is active
+        # (``repro.campaign.cache.cache_context``), so warm reruns only pay
+        # for mapping and verification.
+        optimized, _stats, _hit, _key = cached_sbm_flow(original, flow_config)
         sbm_map = map_luts(optimized, k=6)
-        from_best, _stats2 = sbm_flow(baseline, flow_config)
+        from_best, _stats2, _hit2, _key2 = cached_sbm_flow(baseline,
+                                                           flow_config)
         alt_map = map_luts(from_best, k=6)
         if (alt_map.area, alt_map.depth) < (sbm_map.area, sbm_map.depth):
             optimized, sbm_map = from_best, alt_map

@@ -18,9 +18,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-from repro.asic.designs import IndustrialDesign, industrial_designs
+from repro.asic.designs import industrial_designs
 from repro.asic.flow import ImplementationResult, baseline_flow, proposed_flow
 from repro.experiments.report import Row, format_table
 from repro.sbm.config import FlowConfig

@@ -25,7 +25,7 @@ degraded run is always distinguishable from a full-effort one.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 #: Degradation-ladder rungs, in decreasing effort order.

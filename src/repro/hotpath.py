@@ -27,6 +27,13 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
+#: Version tag of the optimization code itself, salted into campaign cache
+#: keys (:mod:`repro.campaign.cache`).  Bump whenever an engine or hot-path
+#: change may alter *results* (not just speed): every cached entry computed
+#: under the old code then reads as a miss instead of replaying stale
+#: networks.
+CODE_VERSION = "sbm-flow/5"
+
 _ENABLED = True
 
 

@@ -17,8 +17,8 @@ depth ("level count").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Set, Tuple
 
 from repro.aig.aig import Aig, lit_node
 from repro.aig.cuts import Cut, enumerate_cuts

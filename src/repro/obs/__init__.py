@@ -31,11 +31,22 @@ Worker processes never write to the parent's tracer or registry: the
 parallel scheduler gives each window task a fresh local registry, ships
 its snapshot back inside the window payload, and merges the snapshots in
 deterministic partition order (see :mod:`repro.parallel.scheduler`).
+
+Worker *threads* (the campaign orchestrator runs one flow per thread over a
+shared process pool, see :mod:`repro.campaign`) use the **thread-local
+override**: :func:`install_local` redirects this thread's accessors to a
+private tracer/registry pair without touching other threads — the global
+:class:`Tracer` keeps a single span stack and must never be written from
+two threads.  :func:`push_collector` additionally redirects this thread's
+``record_flow_stats`` / ``record_parallel_report`` / ``record_guard_report``
+calls into a per-job :class:`TelemetryCollector`, which the campaign merges
+back into the session in deterministic job order afterwards.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+import threading
+from typing import Any, List, Optional, Tuple
 
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetrics
 from repro.obs.tracer import (
@@ -51,6 +62,16 @@ from repro.obs.tracer import (
 _tracer = NULL_TRACER
 _metrics = NULL_METRICS
 _session: Optional["ObsSession"] = None
+_local = threading.local()
+
+
+class TelemetryCollector:
+    """Per-job sink for the ``record_*`` hooks (campaign thread isolation)."""
+
+    def __init__(self) -> None:
+        self.flow_stats: List[Any] = []
+        self.parallel_reports: List[Any] = []
+        self.guard_reports: List[Any] = []
 
 
 class ObsSession:
@@ -68,6 +89,7 @@ class ObsSession:
         self.flow_stats: List[Any] = []
         self.parallel_reports: List[Any] = []
         self.guard_reports: List[Any] = []
+        self.campaign_reports: List[Any] = []
 
     def close(self) -> None:
         """Flush and release the JSONL sink, if any."""
@@ -101,8 +123,8 @@ def disable() -> None:
 
 
 def enabled() -> bool:
-    """True while a session is active."""
-    return _session is not None
+    """True while a session is active or this thread carries an override."""
+    return _session is not None or _override() is not None
 
 
 def session() -> Optional[ObsSession]:
@@ -110,19 +132,41 @@ def session() -> Optional[ObsSession]:
     return _session
 
 
+def _override() -> Optional[Tuple[Any, Any]]:
+    """This thread's ``(tracer, metrics)`` override pair, or ``None``."""
+    return getattr(_local, "override", None)
+
+
+def install_local(tracer_obj: Any, metrics_obj: Any) -> None:
+    """Redirect *this thread's* accessors to a private tracer/registry.
+
+    The global :class:`Tracer` has a single span stack; a flow running in
+    a worker thread (campaign jobs) must not write to it.  The override is
+    invisible to every other thread; clear it with :func:`clear_local`.
+    """
+    _local.override = (tracer_obj, metrics_obj)
+
+
+def clear_local() -> None:
+    """Remove this thread's tracer/metrics override, if any."""
+    _local.override = None
+
+
 def tracer() -> Tracer:
-    """The active tracer (the null singleton when disabled)."""
-    return _tracer
+    """The active tracer (thread override first, null singleton when off)."""
+    override = _override()
+    return override[0] if override is not None else _tracer
 
 
 def metrics() -> MetricsRegistry:
-    """The active metrics registry (the null singleton when disabled)."""
-    return _metrics
+    """The active registry (thread override first, null singleton when off)."""
+    override = _override()
+    return override[1] if override is not None else _metrics
 
 
 def span(name: str, kind: str = "span", **attrs: Any):
     """Open a span on the active tracer (no-op singleton when disabled)."""
-    return _tracer.span(name, kind=kind, **attrs)
+    return tracer().span(name, kind=kind, **attrs)
 
 
 def install(tracer_obj, metrics_obj):
@@ -130,31 +174,73 @@ def install(tracer_obj, metrics_obj):
 
     Used by the parallel scheduler's worker entry point to redirect engine
     metrics into a per-window local registry (and silence the tracer, whose
-    JSONL sink must not be written from a forked worker).
+    JSONL sink must not be written from a forked worker).  The swap is
+    implemented as a *thread-local* override so an inline window executed
+    inside a campaign worker thread never touches what other threads see;
+    restoring the returned pair puts this thread back exactly where it was.
     """
-    global _tracer, _metrics
-    previous = (_tracer, _metrics)
-    _tracer = tracer_obj
-    _metrics = metrics_obj
+    previous = _override()
+    if previous is None:
+        previous = (_tracer, _metrics)
+    if tracer_obj is _tracer and metrics_obj is _metrics:
+        # Re-installing exactly the global pair = dropping the override, so
+        # a restore leaves the thread clean instead of pinning stale objects.
+        _local.override = None
+    else:
+        _local.override = (tracer_obj, metrics_obj)
     return previous
 
 
+def push_collector(collector: TelemetryCollector) -> None:
+    """Redirect this thread's ``record_*`` calls into *collector*.
+
+    The campaign runner installs one collector per job so telemetry from
+    concurrently running flows can be merged back into the session in
+    deterministic job order instead of interleaved completion order.
+    """
+    _local.collector = collector
+
+
+def pop_collector() -> None:
+    """Stop collecting on this thread; ``record_*`` reach the session again."""
+    _local.collector = None
+
+
+def _collector() -> Optional[TelemetryCollector]:
+    return getattr(_local, "collector", None)
+
+
 def record_flow_stats(stats: Any) -> None:
-    """Register a finished FlowStats with the active session."""
-    if _session is not None:
+    """Register a finished FlowStats with the collector or active session."""
+    collector = _collector()
+    if collector is not None:
+        collector.flow_stats.append(stats)
+    elif _session is not None:
         _session.flow_stats.append(stats)
 
 
 def record_parallel_report(report: Any) -> None:
-    """Register a finished ParallelReport with the active session."""
-    if _session is not None:
+    """Register a finished ParallelReport (collector first, then session)."""
+    collector = _collector()
+    if collector is not None:
+        collector.parallel_reports.append(report)
+    elif _session is not None:
         _session.parallel_reports.append(report)
 
 
 def record_guard_report(report: Any) -> None:
-    """Register a flow's GuardReport (repro.guard) with the active session."""
-    if _session is not None:
+    """Register a flow's GuardReport (collector first, then session)."""
+    collector = _collector()
+    if collector is not None:
+        collector.guard_reports.append(report)
+    elif _session is not None:
         _session.guard_reports.append(report)
+
+
+def record_campaign_report(report: Any) -> None:
+    """Register a finished campaign report with the active session."""
+    if _session is not None:
+        _session.campaign_reports.append(report)
 
 
 __all__ = [
@@ -167,13 +253,19 @@ __all__ = [
     "NullTracer",
     "ObsSession",
     "Span",
+    "TelemetryCollector",
     "Tracer",
+    "clear_local",
     "disable",
     "enable",
     "enabled",
     "install",
+    "install_local",
     "load_jsonl",
     "metrics",
+    "pop_collector",
+    "push_collector",
+    "record_campaign_report",
     "record_flow_stats",
     "record_guard_report",
     "record_parallel_report",

@@ -21,7 +21,10 @@ SCHEMA_NAME = "repro.obs/run-report"
 #: v1 — trace/metrics/flows/parallel_passes.
 #: v2 — adds the ``guard`` section (repro.guard: degradations, rollbacks,
 #:      checkpoints, injected faults).  v1 reports still validate.
-SCHEMA_VERSION = 2
+#: v3 — adds the ``campaign`` section (repro.campaign: per-job cache
+#:      hit/miss/dedup outcomes, stolen windows, summed parallel
+#:      telemetry, wall/CPU totals).  v1/v2 reports still validate.
+SCHEMA_VERSION = 3
 
 
 class ReportSchemaError(ValueError):
@@ -44,6 +47,8 @@ def build_report(session, command: Optional[str] = None) -> Dict[str, Any]:
                             for report in session.parallel_reports],
         "guard": [report.to_dict()
                   for report in getattr(session, "guard_reports", [])],
+        "campaign": [report.to_dict()
+                     for report in getattr(session, "campaign_reports", [])],
     }
 
 
@@ -163,11 +168,44 @@ def _check_guard(entry: Any, where: str) -> None:
                 "event.detail must be an object")
 
 
+def _check_campaign(entry: Any, where: str) -> None:
+    _expect(isinstance(entry, dict), where,
+            "campaign entry must be an object")
+    _expect(isinstance(entry.get("suite"), str), where,
+            "suite must be a string")
+    _expect(entry.get("cache_dir") is None
+            or isinstance(entry["cache_dir"], str),
+            f"{where}.cache_dir", "must be a string or null")
+    for key in ("jobs", "hits", "misses", "deduped", "uncached",
+                "corrupt_entries", "stolen_windows", "pool_rebuilds",
+                "pool_restarts"):
+        _check_number(entry.get(key), f"{where}.{key}")
+    for key in ("elapsed_s", "cpu_s", "worker_wall_s"):
+        _check_number(entry.get(key), f"{where}.{key}")
+    _expect(entry.get("parallel") is None
+            or isinstance(entry["parallel"], dict),
+            f"{where}.parallel", "must be an object or null")
+    _expect(isinstance(entry.get("jobs_detail"), list), where,
+            "jobs_detail must be a list")
+    for i, job in enumerate(entry["jobs_detail"]):
+        at = f"{where}.jobs_detail[{i}]"
+        _expect(isinstance(job, dict), at, "job must be an object")
+        for key in ("name", "benchmark", "outcome"):
+            _expect(isinstance(job.get(key), str), at,
+                    f"job.{key} must be a string")
+        _expect(job.get("key") is None or isinstance(job["key"], str),
+                f"{at}.key", "must be a string or null")
+        for key in ("wall_s", "flow_runtime_s", "nodes_before",
+                    "nodes_after", "stolen_windows", "pool_restarts",
+                    "faults"):
+            _check_number(job.get(key), f"{at}.{key}")
+
+
 def validate_report(report: Any) -> None:
     """Raise :class:`ReportSchemaError` unless *report* matches the schema.
 
     Accepts every published version up to :data:`SCHEMA_VERSION`; the
-    ``guard`` section is required from v2 on.
+    ``guard`` section is required from v2 on, ``campaign`` from v3 on.
     """
     _expect(isinstance(report, dict), "report", "must be an object")
     _expect(report.get("schema") == SCHEMA_NAME, "report.schema",
@@ -199,6 +237,11 @@ def validate_report(report: Any) -> None:
                 "must be a list (schema v2)")
         for i, entry in enumerate(report["guard"]):
             _check_guard(entry, f"report.guard[{i}]")
+    if version >= 3:
+        _expect(isinstance(report.get("campaign"), list), "report.campaign",
+                "must be a list (schema v3)")
+        for i, entry in enumerate(report["campaign"]):
+            _check_campaign(entry, f"report.campaign[{i}]")
 
 
 # -- rendering ----------------------------------------------------------------
@@ -270,7 +313,8 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"(spans={len(report['trace'])} roots, "
           f"flows={len(report['flows'])}, "
           f"parallel_passes={len(report['parallel_passes'])}, "
-          f"guard={len(report.get('guard', []))})")
+          f"guard={len(report.get('guard', []))}, "
+          f"campaign={len(report.get('campaign', []))})")
     print(format_trace_table(report["trace"]))
     print(format_metrics_table(report["metrics"]))
     return 0

@@ -16,7 +16,7 @@ constants and single existing signals that agree on the care set.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.aig.aig import Aig, lit, lit_is_compl, lit_node
 from repro.opt.shared import try_replace

@@ -19,7 +19,7 @@ from __future__ import annotations
 from itertools import combinations
 from typing import Dict, List, Optional, Tuple
 
-from repro.aig.aig import Aig, lit_is_compl, lit_node, lit_not
+from repro.aig.aig import Aig, lit_is_compl, lit_node
 from repro.aig.traversal import node_level_map
 from repro.opt.shared import try_replace
 from repro.partition.window import NodeWindow, collect_window

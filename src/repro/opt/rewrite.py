@@ -19,7 +19,7 @@ from repro.aig.cuts import Cut, enumerate_cuts
 from repro.opt.shared import try_replace
 from repro.sop.factor import FactoredForm, factor, factored_to_aig
 from repro.tt.isop import isop
-from repro.tt.npn import apply_transform, invert_transform, npn_canonical
+from repro.tt.npn import invert_transform, npn_canonical
 from repro.tt.truthtable import TruthTable
 from repro.sop.sop import Sop
 

@@ -10,7 +10,6 @@ Table II experiment.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
 
 from repro.aig.aig import Aig
 from repro.opt.balance import balance

@@ -52,6 +52,7 @@ from repro.errors import BddLimitError
 from repro.guard.chaos import corrupt_window_result, in_worker_process
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER
+from repro.parallel.shared_pool import SharedProcessPool
 from repro.parallel.stats import ParallelReport, WindowRecord
 from repro.parallel.window_io import (
     CompactAig,
@@ -192,18 +193,29 @@ class PartitionScheduler:
     chaos_scope:
         Site-name prefix (the flow passes ``it<effort>:<stage>``) so the
         same engine run in different stages draws independent faults.
+    pool:
+        Optional :class:`~repro.parallel.shared_pool.SharedProcessPool`.
+        When set, tasks are submitted into the shared executor instead of
+        a private per-pass pool (``jobs`` defaults to the pool width), a
+        broken executor is rebuilt through the pool's generation protocol,
+        and a timed-out window's worker slot is simply abandoned until the
+        stale task finishes (a shared pool cannot be torn down mid-pass).
     """
 
     def __init__(self, jobs: Optional[int] = 1,
                  window_timeout_s: Optional[float] = None,
                  max_pool_restarts: int = 2,
                  chaos: Optional[Any] = None,
-                 chaos_scope: str = "") -> None:
+                 chaos_scope: str = "",
+                 pool: Optional[SharedProcessPool] = None) -> None:
+        if pool is not None and (jobs is None or jobs <= 1):
+            jobs = pool.workers
         self.jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 1)
         self.window_timeout_s = window_timeout_s
         self.max_pool_restarts = max_pool_restarts
         self.chaos = chaos
         self.chaos_scope = chaos_scope
+        self.pool = pool
 
     # -- public API ----------------------------------------------------------
 
@@ -253,6 +265,9 @@ class PartitionScheduler:
                 report.records.append(record)
             report.elapsed_s = time.perf_counter() - start
             self._observe_report(report, pass_span)
+            # Outside the enabled() gate: a campaign job collector must see
+            # every pass even when no obs session is active.
+            obs.record_parallel_report(report)
         return report
 
     @staticmethod
@@ -281,7 +296,6 @@ class PartitionScheduler:
                           wall_s=r.wall_s, size=r.size, leaves=r.leaves,
                           applied=r.applied, gain=r.gain,
                           fallback=r.fallback)
-        obs.record_parallel_report(report)
 
     # -- execution -----------------------------------------------------------
 
@@ -349,18 +363,33 @@ class PartitionScheduler:
         A worker *exception* is handled inside :func:`run_window_task` and
         arrives as an ordinary fallback result.  This method only deals with
         the hard failures: per-window timeouts and pool-breaking crashes.
+
+        With a :class:`SharedProcessPool` the executor belongs to the
+        campaign, not to this pass: submission goes through
+        :meth:`SharedProcessPool.submit` (which labels and steal-counts
+        it), and instead of tearing a broken executor down this method
+        asks the pool to rebuild the generation it observed.
         """
         retry: List[WindowTask] = []
         tainted = False  # a timed-out worker still occupies its slot
         broken = False
         injections = injections if injections is not None else {}
-        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(tasks)),
-                                   mp_context=self._mp_context())
+        shared = self.pool
+        private: Optional[ProcessPoolExecutor] = None
+        if shared is not None:
+            generation = shared.generation
+            submit = shared.submit
+        else:
+            generation = 0
+            private = ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(tasks)),
+                mp_context=self._mp_context())
+            submit = private.submit
         try:
-            futures = [(task, pool.submit(run_window_task, engine, task,
-                                          config, collect,
-                                          injections.get(task.index),
-                                          self.window_timeout_s))
+            futures = [(task, submit(run_window_task, engine, task,
+                                     config, collect,
+                                     injections.get(task.index),
+                                     self.window_timeout_s))
                        for task in tasks]
             for task, future in futures:
                 if broken:
@@ -413,11 +442,16 @@ class PartitionScheduler:
                         task, f"pool-error:{type(exc).__name__}")
         except BrokenProcessPool:
             # The pool broke during submission; retry everything unassigned.
+            broken = True
             for task in tasks:
                 if task.index not in results and task not in retry:
                     retry.append(task)
         finally:
-            pool.shutdown(wait=not (tainted or broken), cancel_futures=True)
+            if private is not None:
+                private.shutdown(wait=not (tainted or broken),
+                                 cancel_futures=True)
+            elif broken and shared is not None:
+                shared.rebuild(generation)
         return retry
 
     @staticmethod
@@ -481,9 +515,12 @@ def run_partitioned_pass(aig: Aig, engine: str, config: Any,
                          jobs: Optional[int] = 1,
                          window_timeout_s: Optional[float] = None,
                          chaos: Optional[Any] = None,
-                         chaos_scope: str = "") -> ParallelReport:
+                         chaos_scope: str = "",
+                         pool: Optional[SharedProcessPool] = None
+                         ) -> ParallelReport:
     """Convenience wrapper: one scheduler, one pass, one report."""
     scheduler = PartitionScheduler(jobs=jobs,
                                    window_timeout_s=window_timeout_s,
-                                   chaos=chaos, chaos_scope=chaos_scope)
+                                   chaos=chaos, chaos_scope=chaos_scope,
+                                   pool=pool)
     return scheduler.run_pass(aig, engine, config, partition_config)

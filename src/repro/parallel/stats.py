@@ -152,3 +152,42 @@ class ParallelReport:
                          f"leaves={r.leaves:3d} wall={r.wall_s:6.3f}s "
                          f"gain={r.gain:4d} [{status}]")
         return "\n".join(lines)
+
+
+def aggregate_reports(reports: List[ParallelReport]) -> Dict[str, Any]:
+    """Sum window telemetry across many passes (and many flows).
+
+    :attr:`ParallelReport.speedup` and :attr:`ParallelReport.pool_restarts`
+    describe **one pass of one flow**.  A batch run (the campaign
+    orchestrator, or anything else invoking several flows) must not report
+    the last flow's pass as if it were the whole batch — the historical
+    pitfall this helper exists to prevent.  Everything additive is summed
+    across *all* reports; the aggregate ``speedup`` is recomputed from the
+    summed useful worker time over the summed elapsed time, which weights
+    every pass by its actual duration instead of averaging ratios.
+
+    Returns a JSON-safe dict (empty-input safe: all zeros, ``speedup`` 1.0).
+    """
+    total_elapsed = sum(r.elapsed_s for r in reports)
+    total_useful = sum(r.useful_worker_wall_s for r in reports)
+    fallback_reasons: Dict[str, int] = {}
+    engines: Dict[str, int] = {}
+    for r in reports:
+        engines[r.engine] = engines.get(r.engine, 0) + 1
+        for reason, count in r.fallback_reasons.items():
+            fallback_reasons[reason] = fallback_reasons.get(reason, 0) + count
+    return {
+        "passes": len(reports),
+        "engines": dict(sorted(engines.items())),
+        "num_windows": sum(r.num_windows for r in reports),
+        "num_applied": sum(r.num_applied for r in reports),
+        "num_fallbacks": sum(r.num_fallbacks for r in reports),
+        "fallback_reasons": dict(sorted(fallback_reasons.items())),
+        "total_gain": sum(r.total_gain for r in reports),
+        "pool_restarts": sum(r.pool_restarts for r in reports),
+        "elapsed_s": total_elapsed,
+        "worker_wall_s": sum(r.worker_wall_s for r in reports),
+        "useful_worker_wall_s": total_useful,
+        "speedup": (total_useful / total_elapsed
+                    if total_elapsed > 0.0 else 1.0),
+    }

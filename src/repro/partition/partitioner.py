@@ -16,8 +16,8 @@ can never create a combinational cycle.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.aig.aig import Aig, lit_is_compl, lit_node, lit_notcond
 from repro.aig.traversal import all_supports, node_level_map

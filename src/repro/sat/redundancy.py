@@ -10,7 +10,7 @@ and proven with a SAT miter, after which the edge is removed in place.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro import hotpath
 from repro.aig.aig import Aig, lit_node

@@ -14,7 +14,7 @@ import random
 from typing import Dict, List, Optional
 
 from repro import hotpath
-from repro.aig.aig import Aig, lit, lit_not
+from repro.aig.aig import Aig, lit
 from repro.aig.simprogram import sim_program, wide_mask
 from repro.aig.simulate import WORD_MASK, simulate_words
 from repro.sat.cnf import AigCnf, prove_equivalent

@@ -25,13 +25,13 @@ The flow follows the paper closely:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from repro import obs
 from repro.aig.aig import Aig, lit, lit_node
 from repro.bdd import pool as bdd_pool
-from repro.bdd.manager import FALSE, BddManager
+from repro.bdd.manager import BddManager
 from repro.bdd.to_aig import aig_window_to_bdds, bdd_to_aig
 from repro.errors import BddLimitError
 from repro.opt.shared import try_replace
@@ -83,8 +83,8 @@ def boolean_difference_pass(aig: Aig,
                             config: Optional[BooleanDifferenceConfig] = None,
                             jobs: int = 1,
                             window_timeout_s: Optional[float] = None,
-                            chaos=None, chaos_scope: str = ""
-                            ) -> BooleanDifferenceStats:
+                            chaos=None, chaos_scope: str = "",
+                            pool=None) -> BooleanDifferenceStats:
     """Run Alg. 2 over every partition of the network; edits in place.
 
     Partitions are snapshot up front and optimized independently — inline
@@ -97,7 +97,8 @@ def boolean_difference_pass(aig: Aig,
     report = run_partitioned_pass(aig, "bdiff", config, config.partition,
                                   jobs=jobs,
                                   window_timeout_s=window_timeout_s,
-                                  chaos=chaos, chaos_scope=chaos_scope)
+                                  chaos=chaos, chaos_scope=chaos_scope,
+                                  pool=pool)
     stats = BooleanDifferenceStats(partitions=report.num_windows)
     for record in report.records:
         payload = record.payload
@@ -254,7 +255,7 @@ def _reorder_partition(manager: BddManager, all_bdds: Dict[int, int],
 
     Returns None when the rebuild trips the node limit.
     """
-    from repro.bdd.reorder import rebuild_with_order, sift
+    from repro.bdd.reorder import sift
     from repro.errors import BddLimitError as _Limit
     nodes = list(all_bdds)
     roots = [all_bdds[n] for n in nodes]

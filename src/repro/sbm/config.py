@@ -15,12 +15,13 @@ Default values follow the paper's empirical settings:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.partition.partitioner import PartitionConfig
 
 if TYPE_CHECKING:
     from repro.guard.chaos import FaultPlan
+    from repro.parallel.shared_pool import SharedProcessPool
 
 
 @dataclass
@@ -116,6 +117,12 @@ class FlowConfig:
     #: stage runner.  Corrupt-result faults need
     #: :attr:`verify_each_step` to keep the final network correct.
     chaos: Optional["FaultPlan"] = None
+    #: Optional :class:`repro.parallel.shared_pool.SharedProcessPool`: the
+    #: campaign orchestrator's worker pool, shared by every flow of a batch
+    #: instead of one pool per pass.  Execution-side only — it changes
+    #: where windows run, never what they compute, so it is excluded from
+    #: the campaign cache key (like :attr:`jobs`).
+    pool: Optional["SharedProcessPool"] = None
     #: Optional level discipline (Section V-A: "we enforced a tight control
     #: on the number of levels ... as this is known to correlate with delay
     #: and congestion later on in the flow").  When set, a stage whose

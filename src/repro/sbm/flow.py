@@ -193,7 +193,8 @@ def _run_kernel(aig: Aig, ctx: _StageCtx) -> Aig:
             partition=_reduced_partition(cfg.partition))
     hetero_kernel_pass(aig, cfg, jobs=ctx.config.jobs,
                        window_timeout_s=ctx.config.window_timeout_s,
-                       chaos=ctx.config.chaos, chaos_scope=ctx.chaos_scope)
+                       chaos=ctx.config.chaos, chaos_scope=ctx.chaos_scope,
+                       pool=ctx.config.pool)
     return aig.cleanup()
 
 
@@ -205,7 +206,8 @@ def _run_mspf(aig: Aig, ctx: _StageCtx) -> Aig:
             partition=_reduced_partition(cfg.partition))
     mspf_pass(aig, cfg, jobs=ctx.config.jobs,
               window_timeout_s=ctx.config.window_timeout_s,
-              chaos=ctx.config.chaos, chaos_scope=ctx.chaos_scope)
+              chaos=ctx.config.chaos, chaos_scope=ctx.chaos_scope,
+              pool=ctx.config.pool)
     return aig.cleanup()
 
 
@@ -228,7 +230,8 @@ def _run_boolean_diff(aig: Aig, ctx: _StageCtx) -> Aig:
     boolean_difference_pass(aig, cfg, jobs=ctx.config.jobs,
                             window_timeout_s=ctx.config.window_timeout_s,
                             chaos=ctx.config.chaos,
-                            chaos_scope=ctx.chaos_scope)
+                            chaos_scope=ctx.chaos_scope,
+                            pool=ctx.config.pool)
     return aig.cleanup()
 
 

@@ -19,7 +19,7 @@ node count (the move contract of the gradient engine).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro import hotpath, obs
 from repro.aig.aig import Aig
@@ -66,7 +66,8 @@ def publish_metrics(stats: KernelStats) -> None:
 def hetero_kernel_pass(aig: Aig, config: Optional[KernelConfig] = None,
                        jobs: int = 1,
                        window_timeout_s: Optional[float] = None,
-                       chaos=None, chaos_scope: str = "") -> KernelStats:
+                       chaos=None, chaos_scope: str = "",
+                       pool=None) -> KernelStats:
     """Run heterogeneous eliminate+kernel over every partition; edits in place.
 
     Partitions are snapshot up front and optimized independently — inline
@@ -81,7 +82,8 @@ def hetero_kernel_pass(aig: Aig, config: Optional[KernelConfig] = None,
     report = run_partitioned_pass(aig, "kernel", config, config.partition,
                                   jobs=jobs,
                                   window_timeout_s=window_timeout_s,
-                                  chaos=chaos, chaos_scope=chaos_scope)
+                                  chaos=chaos, chaos_scope=chaos_scope,
+                                  pool=pool)
     stats = KernelStats(partitions=report.num_windows)
     for record in report.records:
         if not record.applied:

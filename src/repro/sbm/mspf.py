@@ -73,7 +73,7 @@ def publish_metrics(stats: MspfStats) -> None:
 
 def mspf_pass(aig: Aig, config: Optional[MspfConfig] = None, jobs: int = 1,
               window_timeout_s: Optional[float] = None,
-              chaos=None, chaos_scope: str = "") -> MspfStats:
+              chaos=None, chaos_scope: str = "", pool=None) -> MspfStats:
     """Run BDD-based MSPF optimization over every partition; edits in place.
 
     Partitions are snapshot up front and optimized independently — inline
@@ -89,7 +89,8 @@ def mspf_pass(aig: Aig, config: Optional[MspfConfig] = None, jobs: int = 1,
     report = run_partitioned_pass(aig, "mspf", config, config.partition,
                                   jobs=jobs,
                                   window_timeout_s=window_timeout_s,
-                                  chaos=chaos, chaos_scope=chaos_scope)
+                                  chaos=chaos, chaos_scope=chaos_scope,
+                                  pool=pool)
     stats = MspfStats(partitions=report.num_windows)
     for record in report.records:
         payload = record.payload

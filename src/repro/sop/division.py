@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from repro import hotpath
-from repro.sop.cube import Cube, cube_and, cube_divide
+from repro.sop.cube import Cube, cube_divide
 from repro.sop.sop import Sop
 
 

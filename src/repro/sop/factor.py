@@ -9,10 +9,10 @@ the network.  The refactor move of the gradient engine also uses this path
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple
 
 from repro.aig.aig import Aig
-from repro.sop.cube import Cube, cube_num_literals
+from repro.sop.cube import Cube
 from repro.sop.division import divide, divide_by_cube
 from repro.sop.kernels import make_cube_free
 from repro.sop.sop import Sop

@@ -13,10 +13,10 @@ literal saving — the primitive that the heterogeneous-threshold engine of
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro import hotpath
-from repro.sop.cube import Cube, TAUTOLOGY_CUBE, cube_common, cube_num_literals
+from repro.sop.cube import Cube, TAUTOLOGY_CUBE, cube_common
 from repro.sop.division import divide, divide_by_cube
 from repro.sop.sop import Sop
 

@@ -7,7 +7,7 @@ cover datatype that node elimination grows and kerneling factors.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence
 
 from repro import hotpath
 from repro.sop.cube import (

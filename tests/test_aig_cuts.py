@@ -2,7 +2,6 @@
 
 from repro.aig.aig import Aig, lit_node
 from repro.aig.cuts import Cut, cut_cone_size, cut_volume_refs, enumerate_cuts
-from repro.tt.truthtable import TruthTable
 
 
 def test_every_node_has_trivial_cut(random_aig_factory):
@@ -32,7 +31,6 @@ def test_cuts_are_real_cuts(random_aig_factory):
     """Every path from a PI to the node must cross a cut leaf."""
     aig = random_aig_factory(6, 60, seed=3)
     cuts = enumerate_cuts(aig, k=4)
-    from repro.aig.traversal import transitive_fanin
     for n in list(aig.ands())[:15]:
         for cut in cuts[n]:
             if cut.leaves == (n,):

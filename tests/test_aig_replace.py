@@ -10,8 +10,15 @@ import random
 
 import pytest
 
-from repro.aig.aig import (CONST0, CONST1, Aig, lit, lit_is_compl,
-                           lit_node, lit_not, lit_notcond)
+from repro.aig.aig import (
+    CONST0,
+    Aig,
+    lit,
+    lit_is_compl,
+    lit_node,
+    lit_not,
+    lit_notcond,
+)
 from repro.aig.simulate import po_tables
 from repro.errors import AigError
 

@@ -9,7 +9,7 @@ from repro.aig.simulate import po_words, simulate_words
 from repro.asic.celllib import CellLibrary, default_cells
 from repro.asic.place import Placement, place, wire_capacitance
 from repro.asic.power import analyze_power, simulate_netlist, switching_activities
-from repro.asic.sta import analyze_timing, net_loads
+from repro.asic.sta import analyze_timing
 from repro.asic.techmap import tech_map
 from repro.tt.truthtable import TruthTable
 

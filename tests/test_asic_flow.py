@@ -2,7 +2,6 @@
 
 from repro.asic.designs import generate_design, industrial_designs
 from repro.asic.flow import baseline_flow, proposed_flow
-from repro.sat.equivalence import assert_equivalent
 
 
 def test_designs_deterministic():

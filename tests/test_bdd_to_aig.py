@@ -2,7 +2,7 @@
 
 import random
 
-from repro.aig.aig import Aig, lit_node
+from repro.aig.aig import Aig
 from repro.aig.simulate import po_tables
 from repro.bdd.manager import FALSE, TRUE, BddManager
 from repro.bdd.to_aig import aig_window_to_bdds, bdd_of_literal, bdd_to_aig

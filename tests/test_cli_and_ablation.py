@@ -1,6 +1,5 @@
 """Tests for the CLI entry point and the ablation API."""
 
-import pytest
 
 from repro.__main__ import main as cli_main
 from repro.experiments.ablation import (

@@ -11,7 +11,7 @@ import pytest
 
 from repro.bdd.manager import BddManager
 from repro.bdd.reorder import rebuild_with_order, shared_size, sift
-from repro.opt.mspf_tt import TtMspfStats, tt_mspf_pass
+from repro.opt.mspf_tt import tt_mspf_pass
 from repro.sat.equivalence import check_equivalence
 from repro.sbm.config import BooleanDifferenceConfig
 from repro.tt.truthtable import TruthTable

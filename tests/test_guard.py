@@ -428,7 +428,7 @@ class TestGuardReporting:
         assert len(session.guard_reports) == 1
         report = build_report(session, command="test")
         validate_report(report)
-        assert report["version"] == 2
+        assert report["version"] == 3
         assert report["guard"][0]["checkpoints"] == 8
 
 

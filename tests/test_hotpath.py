@@ -25,7 +25,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import hotpath
-from repro.aig.aig import Aig
 from repro.aig.cuts import Cut, enumerate_cuts
 from repro.aig.io_aiger import write_aag_string
 from repro.aig.simprogram import (
@@ -40,7 +39,7 @@ from repro.aig.simulate import (
     simulate_words,
 )
 from repro.bdd import pool as bdd_pool
-from repro.bdd.manager import FALSE, TRUE, BddManager
+from repro.bdd.manager import BddManager
 from repro.errors import BddLimitError
 from repro.guard.stage_guard import StageGuard
 from repro.sat.equivalence import find_counterexample

@@ -5,7 +5,6 @@ Includes the regression scenario that exposed the MSPF observability bug
 development: the full gradient engine on a mixed datapath/control design.
 """
 
-import pytest
 
 from repro.bench.registry import get_benchmark
 from repro.mapping.lut import map_luts

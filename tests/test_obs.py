@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import json
 import time
-import warnings
 
 import pytest
 
@@ -370,7 +369,7 @@ class TestRunReport:
         report = build_report(_sample_session(), command="optimize t")
         write_report(path, report)
         assert report_main([path]) == 0
-        assert "valid repro.obs/run-report v2" in capsys.readouterr().out
+        assert "valid repro.obs/run-report v3" in capsys.readouterr().out
 
         report["version"] = 99
         write_report(path, report)

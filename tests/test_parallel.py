@@ -32,7 +32,6 @@ from repro.parallel import (
     run_window_task,
     whole_network_window,
 )
-from repro.parallel.window_io import WindowTask
 from repro.partition.partitioner import PartitionConfig, partition_network
 from repro.sat.equivalence import assert_equivalent
 from repro.sbm.boolean_difference import boolean_difference_pass

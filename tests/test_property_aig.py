@@ -104,7 +104,6 @@ def test_aag_round_trip(spec):
 def test_random_equivalent_replace_preserves_function(spec):
     """Replacing a node by a re-built copy of its own cone is a no-op
     functionally, whatever the strash table does structurally."""
-    from repro.aig.aig import lit_is_compl, lit_notcond
     num_pis, num_nodes, rng = spec
     aig = build_random(num_pis, num_nodes, rng)
     tables = po_tables(aig)

@@ -1,9 +1,9 @@
 """Property-based tests (hypothesis) for the BDD manager."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.bdd.manager import FALSE, TRUE, BddManager
+from repro.bdd.manager import FALSE, BddManager
 from repro.tt.truthtable import TruthTable, table_mask
 
 from tests.test_bdd import build_from_table

@@ -1,6 +1,6 @@
 """Property-based tests (hypothesis) for the SOP algebra."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.sop.division import divide, divide_by_cube

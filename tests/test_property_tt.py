@@ -1,6 +1,6 @@
 """Property-based tests (hypothesis) for truth tables, ISOP, and NPN."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.tt.isop import cover_table, isop, isop_table

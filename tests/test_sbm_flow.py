@@ -1,10 +1,9 @@
 """Tests for the integrated SBM Boolean resynthesis flow (Section V-A)."""
 
-import pytest
 
 from repro.sat.equivalence import assert_equivalent
 from repro.sbm.config import FlowConfig
-from repro.sbm.flow import FlowStats, sbm_flow
+from repro.sbm.flow import sbm_flow
 
 
 def test_flow_preserves_function_and_reduces(small_mult):

@@ -2,7 +2,7 @@
 
 from repro.sat.equivalence import assert_equivalent, check_equivalence
 from repro.sbm.config import GradientConfig
-from repro.sbm.gradient import GradientStats, gradient_optimize
+from repro.sbm.gradient import gradient_optimize
 from repro.sbm.moves import DEFAULT_MOVES, Move
 
 

@@ -1,10 +1,9 @@
 """Tests for the BDD-based MSPF engine (Section IV-C)."""
 
-from repro.aig.aig import Aig, lit_not
-from repro.partition.partitioner import PartitionConfig
+from repro.aig.aig import Aig
 from repro.sat.equivalence import assert_equivalent, check_equivalence
 from repro.sbm.config import MspfConfig
-from repro.sbm.mspf import MspfStats, mspf_pass
+from repro.sbm.mspf import mspf_pass
 
 
 def test_classic_odc_simplification():

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.sop.cube import (
     TAUTOLOGY_CUBE,

@@ -2,7 +2,6 @@
 
 import re
 
-import pytest
 
 from repro.asic.celllib import CellLibrary
 from repro.asic.techmap import tech_map
