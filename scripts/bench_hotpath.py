@@ -160,6 +160,27 @@ def bench_bdd(num_vars: int, ops: int):
     return run
 
 
+def bench_simresub(bench: str):
+    """Simulation-guided resubstitution: signature filter + budgeted SAT.
+
+    The hot path compiles the pattern-store simulation into a
+    ``SimProgram``; the reference path interprets it round by round.  The
+    payload (engine counters + structural checksum of the optimized
+    network) must be bit-identical across both.
+    """
+    from repro.sbm.config import SimresubConfig
+    from repro.sbm.simresub import simresub_pass
+
+    def run():
+        aig = get_benchmark(bench, scaled=True)
+        stats = simresub_pass(aig, SimresubConfig())
+        return (stats.candidates_proposed, stats.candidates_validated,
+                stats.candidates_refuted, stats.cex_patterns, stats.rewrites,
+                stats.gain, checksum(aig.cleanup()))
+
+    return run
+
+
 def measure(run, repeats: int = 1):
     """Best-of-*repeats* wall time plus the payload for identity checks."""
     best = None
@@ -179,6 +200,7 @@ def run_engines(quick: bool):
             "npn": bench_npn(1000),
             "cuts": bench_cuts("i2c"),
             "bdd": bench_bdd(12, 800),
+            "simresub": bench_simresub("i2c"),
         }
     else:
         engines = {
@@ -186,6 +208,7 @@ def run_engines(quick: bool):
             "npn": bench_npn(2000),
             "cuts": bench_cuts("i2c"),
             "bdd": bench_bdd(14, 4000),
+            "simresub": bench_simresub("priority"),
         }
     results = {}
     for name, run in engines.items():

@@ -8,7 +8,7 @@ are written batch-by-batch so partial runs still produce usable rows.
 
 Usage:  python scripts/run_experiments.py [--fast] [--jobs N]
                                           [--trace] [--report-json PATH]
-                                          [--cache-dir DIR]
+                                          [--cache-dir DIR] [--no-simresub]
 
 ``--jobs N`` (or ``-j N``) fans the partition-based engines out over N
 worker processes (0 = all cores); results are identical to the serial run.
@@ -18,6 +18,10 @@ worker processes (0 = all cores); results are identical to the serial run.
 sweep is keyed by (network, config, code version) and replayed from DIR
 when already computed — a warm rerun only pays for mapping, equivalence
 checking, and the baseline scripts.
+
+``--no-simresub`` disables the simulation-guided resubstitution stage in
+every flow of the sweep (for before/after comparisons of the fifth
+engine; enabled by default).
 
 ``--trace`` enables the ``repro.obs`` tracer and writes the span/metrics
 tables to ``results/obs_trace.txt``; ``--report-json PATH`` writes the
@@ -89,7 +93,8 @@ def main() -> None:
     from repro.campaign.cache import cache_context
     from repro.sbm.config import FlowConfig
 
-    flow = FlowConfig(iterations=1, jobs=jobs)
+    flow = FlowConfig(iterations=1, jobs=jobs,
+                      enable_simresub="--no-simresub" not in sys.argv)
     t0 = time.time()
     with cache_context(cache_dir):
         _run_all(fast, flow, t0)
@@ -149,6 +154,14 @@ def _run_all(fast: bool, flow, t0: float) -> None:
             format_points("TT-MSPF [1] vs BDD-MSPF (Section IV-C)",
                           ablate_mspf_engine()),
         ]))
+
+    if not done("simresub_large_arith.txt"):
+        from repro.experiments.simresub_large import (
+            format_simresub_rows,
+            run_simresub_large,
+        )
+        save("simresub_large_arith.txt",
+             format_simresub_rows(run_simresub_large(jobs=flow.jobs)))
 
     small = ["router", "cavlc", "i2c", "priority", "arbiter", "bar", "adder"]
     medium = ["max", "square", "mult", "sqrt", "mem_ctrl"]

@@ -16,7 +16,9 @@ Commands
                          one shared worker pool and the persistent result
                          cache (``repro.campaign``); ``--cache-dir DIR``
                          selects the cache, ``--iterations N`` the flow
-                         depth for ad-hoc benchmark lists
+                         depth for ad-hoc benchmark lists, ``--tier NAME``
+                         additionally includes the suite's jobs marked
+                         with that tier (e.g. ``--tier nightly-large``)
 
 Options
 -------
@@ -41,6 +43,8 @@ Options
                          checkpoint of global stage N (exit status 3), a
                          deterministic stand-in for ``kill -9`` used by
                          the resume-after-interrupt CI check
+``--no-simresub``        disable the simulation-guided resubstitution
+                         stage (the fifth engine; on by default)
 
 ``optimize`` also accepts a benchmark name from the registry, e.g.
 ``python -m repro optimize router --trace --report-json out.json``.
@@ -166,6 +170,8 @@ class GuardOptions:
         self.interrupt_after = interrupt_after
         self.cache_dir: Optional[str] = None
         self.iterations: Optional[int] = None
+        self.tier: Optional[str] = None
+        self.simresub: bool = True
 
 
 def main(argv=None) -> int:
@@ -175,8 +181,12 @@ def main(argv=None) -> int:
     args, guard_opts = _extract_guard(args)
     args, cache_dir = _extract_value_flag(args, "--cache-dir")
     args, iterations = _extract_value_flag(args, "--iterations")
+    args, tier = _extract_value_flag(args, "--tier")
     guard_opts.cache_dir = cache_dir
     guard_opts.iterations = int(iterations) if iterations is not None else None
+    guard_opts.tier = tier
+    guard_opts.simresub = "--no-simresub" not in args
+    args = [a for a in args if a != "--no-simresub"]
     if not args:
         print(__doc__)
         return 1
@@ -238,6 +248,7 @@ def _dispatch(command: str, rest: List[str], jobs: int,
                              flow_timeout_s=guard_opts.timeout_s,
                              checkpoint_dir=guard_opts.checkpoint_dir,
                              chaos=chaos_plan,
+                             enable_simresub=guard_opts.simresub,
                              verify_each_step=chaos_plan is not None)
     if command == "fig1":
         from repro.experiments.fig1 import format_result, run_fig1
@@ -329,11 +340,18 @@ def _run_campaign_command(rest: List[str], jobs: int,
     if not rest:
         raise SystemExit("campaign requires a suite.toml or benchmark names")
     if len(rest) == 1 and os.path.exists(rest[0]):
-        suite, campaign_jobs = load_suite(rest[0])
+        tiers = [guard_opts.tier] if guard_opts.tier else None
+        suite, campaign_jobs = load_suite(rest[0], tiers=tiers)
     else:
-        config = FlowConfig(iterations=guard_opts.iterations or 1)
+        config = FlowConfig(iterations=guard_opts.iterations or 1,
+                            enable_simresub=guard_opts.simresub)
         suite = "adhoc"
         campaign_jobs = jobs_from_benchmarks(rest, config=config)
+    if not guard_opts.simresub:
+        campaign_jobs = [
+            dataclasses.replace(job, config=dataclasses.replace(
+                job.config, enable_simresub=False))
+            for job in campaign_jobs]
     if chaos_plan is not None:
         # Chaos makes every job uncacheable (time/fault-dependent results);
         # verification keeps corrupt-result faults from reaching the output.

@@ -102,6 +102,21 @@ BENCHMARKS: Dict[str, Benchmark] = {
                         PAPER["router"], "control"),
     "voter": Benchmark("voter", lambda: control.voter(1001),
                        lambda: control.voter(101), PAPER["voter"], "control"),
+    # Mid-width variants of the four BDD-hostile arithmetic benchmarks —
+    # the simulation-guided resubstitution coverage cases.  Big enough
+    # that the BDD-filtered engines hit their memory bailouts, small
+    # enough for the nightly campaign; native == scaled (one config).
+    "log2_large": Benchmark("log2_large", lambda: arith.log2_unit(10),
+                            lambda: arith.log2_unit(10),
+                            PAPER["log2"], "arith"),
+    "mult_large": Benchmark("mult_large", lambda: arith.mult(12),
+                            lambda: arith.mult(12), PAPER["mult"], "arith"),
+    "div_large": Benchmark("div_large", lambda: arith.div(12),
+                           lambda: arith.div(12), PAPER["div"], "arith"),
+    "hypotenuse_large": Benchmark("hypotenuse_large",
+                                  lambda: arith.hypotenuse_unit(12),
+                                  lambda: arith.hypotenuse_unit(12),
+                                  PAPER["hypotenuse"], "arith"),
 }
 
 #: Benchmarks appearing in the paper's Table I (new best LUT-6 results).

@@ -93,6 +93,7 @@ def canonical_flow_config(config: FlowConfig) -> Optional[Dict[str, Any]]:
     return {
         "iterations": config.iterations,
         "max_depth_growth": config.max_depth_growth,
+        "enable_simresub": config.enable_simresub,
         "enable_sat_sweep": config.enable_sat_sweep,
         "enable_redundancy_removal": config.enable_redundancy_removal,
         "verify_each_step": config.verify_each_step,
@@ -112,6 +113,15 @@ def canonical_flow_config(config: FlowConfig) -> Optional[Dict[str, Any]]:
             "bdd_node_limit": config.mspf.bdd_node_limit,
             "max_connectable_fanins": config.mspf.max_connectable_fanins,
             "partition": _partition_dict(config.mspf.partition),
+        },
+        "simresub": {
+            "pattern_words": config.simresub.pattern_words,
+            "max_patterns": config.simresub.max_patterns,
+            "max_divisors": config.simresub.max_divisors,
+            "max_pair_checks": config.simresub.max_pair_checks,
+            "sat_conflict_budget": config.simresub.sat_conflict_budget,
+            "seed": config.simresub.seed,
+            "partition": _partition_dict(config.simresub.partition),
         },
         "kernel": {
             "eliminate_thresholds": list(config.kernel.eliminate_thresholds),

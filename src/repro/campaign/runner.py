@@ -75,6 +75,9 @@ class JobResult:
     stolen_windows: int = 0
     pool_restarts: int = 0
     faults: int = 0                #: chaos faults injected into this job
+    #: per-engine applied node gain on this benchmark (cold runs only; a
+    #: cache hit replays the network, not the window telemetry)
+    engine_gain: Dict[str, int] = dataclasses.field(default_factory=dict)
     error: Optional[str] = None
     network: Optional[Aig] = None
     stats: Optional[Dict[str, Any]] = None  #: ``FlowStats.to_dict()`` shape
@@ -96,6 +99,7 @@ class JobResult:
             "stolen_windows": self.stolen_windows,
             "pool_restarts": self.pool_restarts,
             "faults": self.faults,
+            "engine_gain": dict(self.engine_gain),
             "error": self.error,
         }
 
@@ -199,6 +203,11 @@ def _run_one(job: CampaignJob, cache: Optional[ResultCache],
         result.wall_s = time.perf_counter() - start
         result.pool_restarts = sum(
             report.pool_restarts for report in collector.parallel_reports)
+        for parallel in collector.parallel_reports:
+            if parallel.total_gain:
+                result.engine_gain[parallel.engine] = \
+                    result.engine_gain.get(parallel.engine, 0) \
+                    + parallel.total_gain
         if pool is not None:
             result.stolen_windows = pool.stolen_windows(job.name)
         obs.pop_collector()

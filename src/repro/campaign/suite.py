@@ -22,6 +22,12 @@ Per-job (and ``[defaults]``) keys are the *semantic* scalar knobs of
 key — plus ``scaled``/``name``/``benchmark``.  Execution-side knobs
 (worker count, cache directory) come from the CLI, never from the suite:
 the same suite file must produce the same cache keys everywhere.
+
+A job may also carry a ``tier`` marker (e.g. ``tier = "nightly-large"``
+on the big arithmetic benchmarks).  Tiered jobs are **excluded** from
+:func:`load_suite` by default and only included when the caller opts in
+(``load_suite(path, tiers=["nightly-large"])`` — CLI ``--tier``), so the
+quick CI campaign and the full nightly one share a single suite file.
 """
 
 from __future__ import annotations
@@ -34,9 +40,10 @@ from repro.campaign.runner import CampaignJob
 from repro.sbm.config import FlowConfig
 
 #: suite keys forwarded verbatim into ``FlowConfig(...)``
-_CONFIG_KEYS = ("iterations", "max_depth_growth", "enable_sat_sweep",
-                "enable_redundancy_removal", "verify_each_step")
-_JOB_KEYS = _CONFIG_KEYS + ("benchmark", "name", "scaled")
+_CONFIG_KEYS = ("iterations", "max_depth_growth", "enable_simresub",
+                "enable_sat_sweep", "enable_redundancy_removal",
+                "verify_each_step")
+_JOB_KEYS = _CONFIG_KEYS + ("benchmark", "name", "scaled", "tier")
 
 
 def _build_config(entry: Dict[str, Any], defaults: Dict[str, Any]
@@ -50,8 +57,13 @@ def _build_config(entry: Dict[str, Any], defaults: Dict[str, Any]
     return FlowConfig(**kwargs)
 
 
-def load_suite(path: str) -> Tuple[str, List[CampaignJob]]:
-    """Parse a suite TOML file into ``(suite_name, jobs)``."""
+def load_suite(path: str, tiers: Optional[Sequence[str]] = None
+               ) -> Tuple[str, List[CampaignJob]]:
+    """Parse a suite TOML file into ``(suite_name, jobs)``.
+
+    Untiered jobs are always included; a job with a ``tier`` marker is
+    included only when that tier appears in *tiers*.
+    """
     with open(path, "rb") as handle:
         data = tomllib.load(handle)
     name = data.get("name") or os.path.splitext(os.path.basename(path))[0]
@@ -62,12 +74,18 @@ def load_suite(path: str) -> Tuple[str, List[CampaignJob]]:
     entries = data.get("jobs")
     if not entries:
         raise ValueError(f"{path}: no [[jobs]] entries")
+    wanted_tiers = set(tiers or ())
     jobs: List[CampaignJob] = []
     seen: Dict[str, int] = {}
     for entry in entries:
         for key in entry:
             if key not in _JOB_KEYS:
                 raise ValueError(f"{path}: unknown job key {key!r}")
+        tier = entry.get("tier")
+        if tier is not None and not isinstance(tier, str):
+            raise ValueError(f"{path}: job tier must be a string")
+        if tier is not None and tier not in wanted_tiers:
+            continue
         benchmark = entry.get("benchmark")
         if not benchmark:
             raise ValueError(f"{path}: job without a benchmark")

@@ -89,6 +89,7 @@ def _resolve_engine(name: str) -> Callable:
         from repro.sbm import boolean_difference  # noqa: F401
         from repro.sbm import hetero_kernel  # noqa: F401
         from repro.sbm import mspf  # noqa: F401
+        from repro.sbm import simresub  # noqa: F401
     return ENGINES[name]
 
 

@@ -166,19 +166,35 @@ def aggregate_reports(reports: List[ParallelReport]) -> Dict[str, Any]:
     summed useful worker time over the summed elapsed time, which weights
     every pass by its actual duration instead of averaging ratios.
 
+    The ``by_engine`` breakdown attributes the node deltas: historically
+    engines were summed into batch totals only, so a campaign report could
+    not say *which* engine won on which benchmark.  (``engines`` — the
+    plain pass-count histogram — is kept for backward compatibility.)
+
     Returns a JSON-safe dict (empty-input safe: all zeros, ``speedup`` 1.0).
     """
     total_elapsed = sum(r.elapsed_s for r in reports)
     total_useful = sum(r.useful_worker_wall_s for r in reports)
     fallback_reasons: Dict[str, int] = {}
     engines: Dict[str, int] = {}
+    by_engine: Dict[str, Dict[str, Any]] = {}
     for r in reports:
         engines[r.engine] = engines.get(r.engine, 0) + 1
+        agg = by_engine.setdefault(r.engine, {
+            "passes": 0, "num_windows": 0, "num_applied": 0,
+            "num_fallbacks": 0, "total_gain": 0, "worker_wall_s": 0.0})
+        agg["passes"] += 1
+        agg["num_windows"] += r.num_windows
+        agg["num_applied"] += r.num_applied
+        agg["num_fallbacks"] += r.num_fallbacks
+        agg["total_gain"] += r.total_gain
+        agg["worker_wall_s"] += r.worker_wall_s
         for reason, count in r.fallback_reasons.items():
             fallback_reasons[reason] = fallback_reasons.get(reason, 0) + count
     return {
         "passes": len(reports),
         "engines": dict(sorted(engines.items())),
+        "by_engine": dict(sorted(by_engine.items())),
         "num_windows": sum(r.num_windows for r in reports),
         "num_applied": sum(r.num_applied for r in reports),
         "num_fallbacks": sum(r.num_fallbacks for r in reports),

@@ -127,6 +127,21 @@ class SatSolver:
         Returns True (SAT — model available via :meth:`model_value`) or
         False (UNSAT under the assumptions).
         """
+        result = self.solve_limited(assumptions)
+        assert result is not None  # no budget, so always a verdict
+        return result
+
+    def solve_limited(self, assumptions: Sequence[int] = (),
+                      conflict_limit: Optional[int] = None) -> Optional[bool]:
+        """Like :meth:`solve`, but give up after *conflict_limit* conflicts.
+
+        Returns ``True`` (SAT), ``False`` (UNSAT under the assumptions), or
+        ``None`` when the conflict budget ran out before a verdict.  The
+        solver state (learned clauses included) stays valid for further
+        calls, so a budgeted caller can retry or move on — the SBM
+        simulation-guided resubstitution engine uses this to bound each
+        candidate proof.
+        """
         if not self._ok:
             return False
         self._backtrack(0)
@@ -137,11 +152,13 @@ class SatSolver:
         restart_count = 0
         conflict_budget = 64 * _luby(restart_count)
         conflicts_here = 0
+        conflicts_total = 0
         while True:
             conflict = self._propagate()
             if conflict is not None:
                 self.num_conflicts += 1
                 conflicts_here += 1
+                conflicts_total += 1
                 if self._decision_level() == 0:
                     self._ok = False
                     return False
@@ -160,6 +177,10 @@ class SatSolver:
                     self._watch_clause(learned)
                     self._enqueue(learned[0], learned)
                 self._decay_activities()
+                if conflict_limit is not None \
+                        and conflicts_total >= conflict_limit:
+                    self._backtrack(0)
+                    return None
                 continue
             if conflicts_here >= conflict_budget:
                 # Restart, keeping learned clauses.

@@ -67,6 +67,33 @@ class KernelConfig:
 
 
 @dataclass
+class SimresubConfig:
+    """Knobs of the simulation-guided resubstitution engine.
+
+    The fifth engine (Simulation-Guided Boolean Resubstitution, Lee et
+    al., arXiv:2007.02579) carries no BDD limits: candidates are filtered
+    by simulation signatures and validated by budgeted SAT proofs, so its
+    knobs are the pattern width, the divisor/pair search bounds, and the
+    per-proof conflict budget — exactly the degradation-ladder handles.
+    """
+
+    #: 64-bit words of seeded random patterns (4 → 256 patterns).
+    pattern_words: int = 4
+    #: Hard cap on pattern growth from counterexamples.
+    max_patterns: int = 1024
+    #: Nearest topological predecessors considered as divisors per node.
+    max_divisors: int = 48
+    #: Divisor-pair signature checks per node (two-divisor candidates).
+    max_pair_checks: int = 300
+    #: SAT conflicts allowed per candidate proof; over budget = skip.
+    sat_conflict_budget: int = 3000
+    #: Seed of the random pattern prefix (semantic: part of the cache key).
+    seed: int = 0x51328E5
+    partition: PartitionConfig = field(default_factory=lambda: PartitionConfig(
+        max_levels=24, max_size=500, max_leaves=30))
+
+
+@dataclass
 class GradientConfig:
     """Knobs of the gradient-based AIG engine (Section IV-A)."""
 
@@ -132,8 +159,13 @@ class FlowConfig:
     boolean_difference: BooleanDifferenceConfig = field(
         default_factory=BooleanDifferenceConfig)
     mspf: MspfConfig = field(default_factory=MspfConfig)
+    simresub: SimresubConfig = field(default_factory=SimresubConfig)
     kernel: KernelConfig = field(default_factory=KernelConfig)
     gradient: GradientConfig = field(default_factory=GradientConfig)
+    #: Simulation-guided resubstitution (the fifth engine): signature
+    #: filtering + budgeted SAT, no BDDs — the scalable path on the large
+    #: arithmetic benchmarks where the BDD-filtered engines bail out.
+    enable_simresub: bool = True
     enable_sat_sweep: bool = True
     enable_redundancy_removal: bool = False  # expensive; on for final effort
     #: Verify every stage through the :class:`repro.guard.stage_guard

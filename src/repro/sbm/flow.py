@@ -22,6 +22,12 @@ Our networks are always AIGs, so the "translate to AIG" step becomes a
 and Boolean decomposition on reconvergent MFFCs" stage maps to the
 wide-cut refactoring pass.
 
+On top of the paper's engines, the flow runs **simulation-guided
+resubstitution** (:mod:`repro.sbm.simresub`, after MSPF) — the
+BDD-free fifth engine whose signature-filter/SAT-validate CEGAR loop
+stays effective on the large arithmetic benchmarks where the BDD-filtered
+engines bail out; disable with ``FlowConfig.enable_simresub = False``.
+
 Execution model
 ---------------
 The iteration body is a **data-driven stage table** (:func:`_stage_specs`)
@@ -81,6 +87,7 @@ from repro.sbm.config import FlowConfig, GradientConfig
 from repro.sbm.gradient import gradient_optimize
 from repro.sbm.hetero_kernel import hetero_kernel_pass
 from repro.sbm.mspf import mspf_pass
+from repro.sbm.simresub import simresub_pass
 
 
 @dataclass
@@ -211,6 +218,22 @@ def _run_mspf(aig: Aig, ctx: _StageCtx) -> Aig:
     return aig.cleanup()
 
 
+def _run_simresub(aig: Aig, ctx: _StageCtx) -> Aig:
+    cfg = ctx.config.simresub
+    if ctx.level == REDUCED:
+        cfg = dataclasses.replace(
+            cfg, pattern_words=max(1, cfg.pattern_words // 2),
+            max_divisors=max(8, cfg.max_divisors // 2),
+            max_pair_checks=max(50, cfg.max_pair_checks // 4),
+            sat_conflict_budget=max(200, cfg.sat_conflict_budget // 4),
+            partition=_reduced_partition(cfg.partition))
+    simresub_pass(aig, cfg, jobs=ctx.config.jobs,
+                  window_timeout_s=ctx.config.window_timeout_s,
+                  chaos=ctx.config.chaos, chaos_scope=ctx.chaos_scope,
+                  pool=ctx.config.pool)
+    return aig.cleanup()
+
+
 def _run_collapse_decomp(aig: Aig, ctx: _StageCtx) -> Aig:
     max_leaves = 8 if ctx.level == REDUCED else 10 + 2 * ctx.effort
     refactor(aig, max_leaves=max_leaves, min_gain=1)
@@ -258,15 +281,19 @@ def _run_balance(aig: Aig, ctx: _StageCtx) -> Aig:
 
 
 def _stage_specs(config: FlowConfig) -> List[_StageSpec]:
-    """The iteration's stage table for *config* (8 stages by default)."""
+    """The iteration's stage table for *config* (9 stages by default)."""
     specs = [
         _StageSpec("aig_script", _run_aig_script, snapshot="raw"),
         _StageSpec("gradient", _run_gradient),
         _StageSpec("kernel", _run_kernel),
         _StageSpec("mspf", _run_mspf),
+    ]
+    if config.enable_simresub:
+        specs.append(_StageSpec("simresub", _run_simresub))
+    specs.extend([
         _StageSpec("collapse_decomp", _run_collapse_decomp),
         _StageSpec("boolean_diff", _run_boolean_diff),
-    ]
+    ])
     if config.enable_sat_sweep:
         specs.append(_StageSpec("sat_sweep", _run_sat_sweep,
                                 snapshot="none", depth_guard=False))

@@ -117,6 +117,22 @@ class TestCacheKey:
             FlowConfig(window_timeout_s=1.0)) is None
         assert flow_cache_key(aig, FlowConfig(chaos=FaultPlan(seed=7))) is None
 
+    def test_simresub_knobs_are_semantic(self):
+        # The fifth engine's config travels in the cache key: flipping the
+        # stage off or changing any CEGAR knob must produce a new key.
+        aig = get_benchmark("router")
+        base = flow_cache_key(aig, FlowConfig(iterations=1))
+        assert flow_cache_key(aig, FlowConfig(
+            iterations=1, enable_simresub=False)) != base
+        for change in (dict(pattern_words=8), dict(max_divisors=16),
+                       dict(max_pair_checks=100), dict(seed=42),
+                       dict(sat_conflict_budget=10)):
+            tweaked = FlowConfig(iterations=1)
+            tweaked.simresub = dataclasses.replace(tweaked.simresub, **change)
+            assert flow_cache_key(aig, tweaked) != base, change
+        semantic = canonical_flow_config(FlowConfig(iterations=1))
+        assert semantic is not None and "simresub" in semantic
+
     def test_code_version_salts_the_key(self, monkeypatch):
         from repro import hotpath
         aig = get_benchmark("router")
@@ -327,16 +343,42 @@ class TestAggregation:
     def test_empty_input_is_safe(self):
         agg = aggregate_reports([])
         assert agg["passes"] == 0 and agg["speedup"] == 1.0
+        assert agg["by_engine"] == {}
+
+    def test_by_engine_attributes_gain_per_engine(self):
+        reports = [_report("kernel", 2.0, 4.0, 1),
+                   _report("kernel", 1.0, 2.0, 0),
+                   _report("simresub", 1.0, 1.0, 0)]
+        agg = aggregate_reports(reports)
+        assert set(agg["by_engine"]) == {"kernel", "simresub"}
+        kernel = agg["by_engine"]["kernel"]
+        assert kernel["passes"] == 2 and kernel["total_gain"] == 2
+        assert kernel["num_windows"] == 2 and kernel["num_applied"] == 2
+        assert kernel["worker_wall_s"] == pytest.approx(6.0)
+        assert agg["by_engine"]["simresub"]["total_gain"] == 1
+        # The additive batch totals agree with the attribution.
+        assert agg["total_gain"] == sum(
+            e["total_gain"] for e in agg["by_engine"].values())
+
+    def test_campaign_rows_carry_engine_gain(self, tmp_path):
+        report = run_campaign(
+            jobs_from_benchmarks(["router"], config=FlowConfig(iterations=1)),
+            cache_dir=None, workers=1, suite="gain")
+        row = report.result("router")
+        assert set(row.engine_gain) <= {"kernel", "mspf", "simresub", "bdiff"}
+        assert sum(row.engine_gain.values()) > 0
+        assert row.to_dict()["engine_gain"] == row.engine_gain
 
     def test_campaign_report_sums_job_telemetry(self, tmp_path):
         report = run_campaign(
             jobs_from_benchmarks(["router", "i2c"],
                                  config=FlowConfig(iterations=1)),
             cache_dir=None, workers=1, suite="agg")
-        # Two flows × 3 partitioned passes each: the aggregate must cover
-        # all six, not just the last flow's three.
+        # Two flows × 4 partitioned passes each (kernel, mspf, simresub,
+        # bdiff): the aggregate must cover all eight, not just the last
+        # flow's four.
         assert report.parallel is not None
-        assert report.parallel["passes"] == 6
+        assert report.parallel["passes"] == 8
         assert report.parallel["num_windows"] > 0
 
 
@@ -373,7 +415,7 @@ class TestCampaignReporting:
         finally:
             obs.disable()
         assert len(session.flow_stats) == 2
-        assert len(session.parallel_reports) == 6
+        assert len(session.parallel_reports) == 8
         assert not session.metrics.is_empty()
 
 
@@ -410,6 +452,31 @@ class TestSuiteLoader:
         assert suite == "epfl-full"
         assert len(jobs) == 17
         assert all(j.config.iterations == 1 for j in jobs)
+
+    def test_repo_epfl_suite_nightly_tier_adds_large_arith(self):
+        # The four large arithmetic jobs ride behind the nightly-large
+        # tier: absent by default, included when the tier is requested.
+        root = os.path.join(os.path.dirname(__file__), "..")
+        path = os.path.join(root, "suites", "epfl.toml")
+        _s, default_jobs = load_suite(path)
+        _s, nightly_jobs = load_suite(path, tiers=["nightly-large"])
+        extra = ({j.name for j in nightly_jobs}
+                 - {j.name for j in default_jobs})
+        assert extra == {"log2_large", "mult_large",
+                         "div_large", "hypotenuse_large"}
+
+    def test_tiered_jobs_filtered_and_validated(self, tmp_path):
+        path = tmp_path / "s.toml"
+        path.write_text('[[jobs]]\nbenchmark = "router"\n'
+                        '[[jobs]]\nbenchmark = "i2c"\ntier = "nightly"\n')
+        _s, jobs = load_suite(str(path))
+        assert [j.name for j in jobs] == ["router"]
+        _s, jobs = load_suite(str(path), tiers=["nightly"])
+        assert [j.name for j in jobs] == ["router", "i2c"]
+        bad = tmp_path / "bad.toml"
+        bad.write_text('[[jobs]]\nbenchmark = "router"\ntier = 3\n')
+        with pytest.raises(ValueError, match="tier"):
+            load_suite(str(bad))
 
     def test_duplicate_benchmark_labels_are_disambiguated(self, tmp_path):
         path = tmp_path / "s.toml"

@@ -292,10 +292,10 @@ class TestResume:
         ckpt = str(tmp_path / "ckpt")
         out, stats = sbm_flow(
             aig, FlowConfig(iterations=1, checkpoint_dir=ckpt))
-        # 8 stages per iteration -> 8 checkpoint commits.
-        assert stats.guard.checkpoints == 8
+        # 9 stages per iteration -> 9 checkpoint commits.
+        assert stats.guard.checkpoints == 9
         resumed = load_checkpoint(ckpt)
-        assert resumed.state.next_index == 8
+        assert resumed.state.next_index == 9
         assert signature(resumed.best) == signature(out)
 
     def test_resume_rejects_wrong_interface(self, tmp_path):
@@ -429,7 +429,7 @@ class TestGuardReporting:
         report = build_report(session, command="test")
         validate_report(report)
         assert report["version"] == 3
-        assert report["guard"][0]["checkpoints"] == 8
+        assert report["guard"][0]["checkpoints"] == 9
 
 
 # -- CLI / config satellites --------------------------------------------------
