@@ -9,9 +9,14 @@ lookups.  This benchmark quantifies both directions on a mid-size AIG:
   compared against the microbenchmarked cost of the null call sites,
   asserting the instrumentation accounts for well under 2% of the flow;
 * **enabled overhead** — the same flow with a live tracer + registry,
-  reporting the price of ``--trace`` (informational: tracing is opt-in).
+  reporting the price of ``--trace`` (informational: tracing is opt-in);
+* **live-bus overhead** — the flow with the :mod:`repro.obs.live`
+  progress bus enabled and a background pump draining it, the price of
+  ``--progress`` (contract: < 2%), plus the microbenchmarked cost of a
+  disabled-bus call site (one ``bus.enabled`` attribute check).
 
-Results are recorded in ``results/obs_overhead.txt`` by
+Results are recorded in ``results/obs_overhead.txt`` and the
+machine-readable ``BENCH_obs.json`` at the repo root by
 ``python benchmarks/bench_obs.py``; under pytest the assertions guard
 against an overhead regression.
 """
@@ -21,6 +26,7 @@ from __future__ import annotations
 import time
 
 from repro import obs
+from repro.obs.live import LivePump
 from repro.sbm.config import FlowConfig
 from repro.sbm.flow import sbm_flow
 from tests.conftest import make_random_aig
@@ -35,15 +41,22 @@ def _network():
     return make_random_aig(12, 3000, seed=99)
 
 
-def _flow_once(enabled: bool) -> float:
+def _flow_once(enabled: bool, live: bool = False) -> float:
     aig = _network()
     if enabled:
         obs.enable()
+    pump = None
+    if live:
+        bus = obs.enable_live()
+        pump = LivePump(bus, sinks=[], poll_s=0.05).start()
     try:
         start = time.perf_counter()
         sbm_flow(aig, FlowConfig(iterations=1))
         return time.perf_counter() - start
     finally:
+        if live:
+            obs.disable_live()
+            pump.stop()
         if enabled:
             obs.disable()
 
@@ -59,11 +72,24 @@ def null_call_site_cost_s() -> float:
     return (time.perf_counter() - start) / CALLS
 
 
+def null_bus_site_cost_s() -> float:
+    """Seconds per disabled live-bus call site (the ``enabled`` guard)."""
+    bus = obs.live_bus()
+    assert not bus.enabled
+    start = time.perf_counter()
+    for i in range(CALLS):
+        if bus.enabled:
+            bus.emit("stage_end", stage="mspf", nodes=i)
+    return (time.perf_counter() - start) / CALLS
+
+
 def measure() -> dict:
     """Run the comparison; returns the numbers the report prints."""
     off_s = min(_flow_once(enabled=False) for _ in range(2))
     on_s = min(_flow_once(enabled=True) for _ in range(2))
+    live_s = min(_flow_once(enabled=False, live=True) for _ in range(2))
     per_site_s = null_call_site_cost_s()
+    per_bus_site_s = null_bus_site_cost_s()
     # Upper bound on call sites a flow executes: every span/metric write is
     # tied to a stage, window, or move — count the enabled run's spans and
     # counters as a proxy (each write costs *more* than a null call).
@@ -78,10 +104,13 @@ def measure() -> dict:
     return {
         "flow_off_s": off_s,
         "flow_on_s": on_s,
+        "flow_live_s": live_s,
         "per_site_us": per_site_s * 1e6,
+        "per_bus_site_us": per_bus_site_s * 1e6,
         "call_sites": call_sites,
         "disabled_overhead_pct": 100.0 * (per_site_s * call_sites) / off_s,
         "enabled_overhead_pct": 100.0 * (on_s - off_s) / off_s,
+        "live_overhead_pct": 100.0 * (live_s - off_s) / off_s,
     }
 
 
@@ -94,8 +123,12 @@ def format_results(r: dict) -> str:
         "observability overhead (mid-size random AIG, 1 flow iteration)",
         f"  flow, tracer off : {r['flow_off_s']:7.2f}s",
         f"  flow, tracer on  : {r['flow_on_s']:7.2f}s  "
-        f"(+{r['enabled_overhead_pct']:.1f}% — the opt-in price of --trace)",
+        f"({r['enabled_overhead_pct']:+.1f}% — the opt-in price of --trace)",
+        f"  flow, live bus on: {r['flow_live_s']:7.2f}s  "
+        f"({r['live_overhead_pct']:+.1f}% — the price of --progress; "
+        f"contract: < 2%)",
         f"  null call site   : {r['per_site_us']:7.3f}us per span+counter",
+        f"  null bus site    : {r['per_bus_site_us']:7.4f}us per guarded emit",
         f"  instrumented sites exercised: ~{r['call_sites']}",
         f"  disabled overhead: {r['disabled_overhead_pct']:.3f}% of the flow "
         f"(contract: < 2%)",
@@ -110,14 +143,29 @@ def test_bench_obs_overhead(benchmark):
     assert results["disabled_overhead_pct"] < 2.0
     # Sanity on the microbench itself — a null call site is not a real span.
     assert results["per_site_us"] < 50.0
+    # A disabled live-bus site is one attribute check — far below a span.
+    assert results["per_bus_site_us"] < 5.0
+    # Live streaming must stay near-free; 5% tolerates two-run wall noise
+    # on CI machines (the recorded number is typically well under 2%).
+    assert results["live_overhead_pct"] < 5.0
 
 
 if __name__ == "__main__":
+    import json
     import os
-    text = format_results(measure())
+    import sys
+    results = measure()
+    text = format_results(results)
     print(text)
-    results_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)),
-                               "..", "results")
+    root = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+    results_dir = os.path.join(root, "results")
     os.makedirs(results_dir, exist_ok=True)
     with open(os.path.join(results_dir, "obs_overhead.txt"), "w") as handle:
         handle.write(text + "\n")
+    doc = {"cmdline": "python benchmarks/bench_obs.py " + " ".join(
+        sys.argv[1:])}
+    doc.update({k: (round(v, 4) if isinstance(v, float) else v)
+                for k, v in results.items()})
+    with open(os.path.join(root, "BENCH_obs.json"), "w") as handle:
+        json.dump(doc, handle, indent=1, sort_keys=True)
+        handle.write("\n")

@@ -9,6 +9,7 @@ are written batch-by-batch so partial runs still produce usable rows.
 Usage:  python scripts/run_experiments.py [--fast] [--jobs N]
                                           [--trace] [--report-json PATH]
                                           [--cache-dir DIR] [--no-simresub]
+                                          [--progress] [--progress-jsonl PATH]
 
 ``--jobs N`` (or ``-j N``) fans the partition-based engines out over N
 worker processes (0 = all cores); results are identical to the serial run.
@@ -86,17 +87,21 @@ def main() -> None:
     trace = "--trace" in sys.argv
     report_json = parse_value(sys.argv, "--report-json")
     cache_dir = parse_value(sys.argv, "--cache-dir")
+    progress = "--progress" in sys.argv
+    progress_jsonl = parse_value(sys.argv, "--progress-jsonl")
     session = None
     if trace or report_json:
         from repro import obs
         session = obs.enable()
     from repro.campaign.cache import cache_context
+    from repro.obs.live import live_session
     from repro.sbm.config import FlowConfig
 
     flow = FlowConfig(iterations=1, jobs=jobs,
                       enable_simresub="--no-simresub" not in sys.argv)
     t0 = time.time()
-    with cache_context(cache_dir):
+    with cache_context(cache_dir), \
+            live_session(progress=progress, jsonl_path=progress_jsonl):
         _run_all(fast, flow, t0)
 
     if session is not None:

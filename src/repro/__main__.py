@@ -30,6 +30,14 @@ Options
 ``--trace-jsonl PATH``   stream every span to a JSONL event sink
 ``--report-json PATH``   write the machine-readable run report (stable
                          schema; validate with ``python -m repro.obs.report``)
+``--progress``           live progress on stderr while the command runs: a
+                         TTY-aware status line (plain lines in CI logs)
+                         fed by the non-blocking event bus (``repro.obs.live``)
+``--progress-jsonl PATH`` stream every progress event as one JSON line
+                         (tail-able; machine-readable live channel)
+``--history-db PATH``    (campaign) ingest the finished campaign report
+                         into the telemetry history store
+                         (``python -m repro.obs.history``)
 ``--timeout S``          flow wall-clock budget in seconds: stages degrade
                          to reduced effort when behind schedule and are
                          skipped once the budget is gone (``repro.guard``)
@@ -172,6 +180,7 @@ class GuardOptions:
         self.iterations: Optional[int] = None
         self.tier: Optional[str] = None
         self.simresub: bool = True
+        self.history_db: Optional[str] = None
 
 
 def main(argv=None) -> int:
@@ -182,9 +191,14 @@ def main(argv=None) -> int:
     args, cache_dir = _extract_value_flag(args, "--cache-dir")
     args, iterations = _extract_value_flag(args, "--iterations")
     args, tier = _extract_value_flag(args, "--tier")
+    args, progress_jsonl = _extract_value_flag(args, "--progress-jsonl")
+    args, history_db = _extract_value_flag(args, "--history-db")
+    progress = "--progress" in args
+    args = [a for a in args if a != "--progress"]
     guard_opts.cache_dir = cache_dir
     guard_opts.iterations = int(iterations) if iterations is not None else None
     guard_opts.tier = tier
+    guard_opts.history_db = history_db
     guard_opts.simresub = "--no-simresub" not in args
     args = [a for a in args if a != "--no-simresub"]
     if not args:
@@ -193,12 +207,18 @@ def main(argv=None) -> int:
     command, rest = args[0], args[1:]
     observe = trace or trace_jsonl is not None or report_json is not None
     if not observe:
+        if progress or progress_jsonl is not None:
+            from repro.obs.live import live_session
+            with live_session(progress=progress, jsonl_path=progress_jsonl):
+                return _dispatch(command, rest, jobs, guard_opts)
         return _dispatch(command, rest, jobs, guard_opts)
     from repro import obs
+    from repro.obs.live import live_session
     from repro.obs.report import build_report, write_report
     session = obs.enable(jsonl_path=trace_jsonl)
     try:
-        status = _dispatch(command, rest, jobs, guard_opts)
+        with live_session(progress=progress, jsonl_path=progress_jsonl):
+            status = _dispatch(command, rest, jobs, guard_opts)
     finally:
         obs.disable()
     if trace:
@@ -360,7 +380,8 @@ def _run_campaign_command(rest: List[str], jobs: int,
                 job.config, chaos=chaos_plan, verify_each_step=True))
             for job in campaign_jobs]
     report = run_campaign(campaign_jobs, cache_dir=guard_opts.cache_dir,
-                          workers=jobs, suite=suite)
+                          workers=jobs, suite=suite,
+                          history_db=guard_opts.history_db)
     for row in report.results:
         line = (f"{row.name:16s} {row.outcome:8s} "
                 f"{row.nodes_before:6d} -> {row.nodes_after:6d}  "

@@ -87,7 +87,7 @@ class JobResult:
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe row for the run report's ``jobs_detail`` list."""
-        return {
+        row = {
             "name": self.name,
             "benchmark": self.benchmark,
             "outcome": self.outcome,
@@ -102,6 +102,14 @@ class JobResult:
             "engine_gain": dict(self.engine_gain),
             "error": self.error,
         }
+        # Per-stage sizes/times feed the telemetry history store; a cache
+        # hit replays the cold run's stats dict, so hits carry them too.
+        if self.stats and self.stats.get("stages"):
+            row["stages"] = [
+                {"name": s.get("name"), "size": s.get("size"),
+                 "elapsed_s": s.get("elapsed_s", 0.0)}
+                for s in self.stats["stages"]]
+        return row
 
 
 @dataclasses.dataclass
@@ -178,6 +186,9 @@ def _run_one(job: CampaignJob, cache: Optional[ResultCache],
     start = time.perf_counter()
     result = JobResult(name=job.name, benchmark=job.benchmark,
                        outcome="error", collector=collector)
+    bus = obs.live_bus()
+    if bus.enabled:
+        bus.emit("job_start", name=job.name, benchmark=job.benchmark)
     try:
         network = job.resolve_network()
         result.nodes_before = network.num_ands
@@ -214,6 +225,10 @@ def _run_one(job: CampaignJob, cache: Optional[ResultCache],
         obs.clear_local()
         if registry is not None:
             result.collector_metrics = registry.snapshot()
+        if bus.enabled:
+            bus.emit("job_end", name=job.name, outcome=result.outcome,
+                     nodes_before=result.nodes_before,
+                     nodes_after=result.nodes_after)
     return result
 
 
@@ -221,7 +236,8 @@ def run_campaign(jobs: List[CampaignJob],
                  cache_dir: Optional[str] = None,
                  workers: Optional[int] = 1,
                  threads: Optional[int] = None,
-                 suite: str = "adhoc") -> CampaignReport:
+                 suite: str = "adhoc",
+                 history_db: Optional[str] = None) -> CampaignReport:
     """Run every job; returns the campaign report (and registers it).
 
     Parameters
@@ -239,6 +255,10 @@ def run_campaign(jobs: List[CampaignJob],
         stealing needs overlapping jobs) or ``1`` without a pool.
     suite:
         Label recorded in the report (the suite file name, usually).
+    history_db:
+        Path of a :mod:`repro.obs.history` SQLite store; when given, the
+        finished report is ingested into it (a history failure is reported
+        on stderr but never sinks the campaign).
     """
     names = [job.name for job in jobs]
     if len(set(names)) != len(names):
@@ -251,6 +271,9 @@ def run_campaign(jobs: List[CampaignJob],
     threads = max(1, min(threads, len(jobs) or 1))
 
     report = CampaignReport(suite=suite, cache_dir=cache_dir)
+    bus = obs.live_bus()
+    if bus.enabled:
+        bus.emit("campaign_start", suite=suite, jobs=len(jobs))
     start_wall = time.perf_counter()
     start_cpu = time.process_time()
     try:
@@ -334,5 +357,19 @@ def run_campaign(jobs: List[CampaignJob],
         aggregate = aggregate_reports(all_parallel)
         report.parallel = aggregate
         report.worker_wall_s = float(aggregate["worker_wall_s"])
+    if bus.enabled:
+        bus.emit("campaign_end", suite=suite, hits=report.hits,
+                 misses=report.misses, deduped=report.deduped,
+                 uncached=report.uncached, errors=report.errors)
     obs.record_campaign_report(report)
+    if history_db is not None:
+        # Telemetry history is best-effort bookkeeping — a locked or
+        # corrupt store must not turn a finished campaign into a failure.
+        try:
+            from repro.obs.history import ingest_campaign_report
+            ingest_campaign_report(history_db, report)
+        except Exception as exc:
+            import sys
+            print(f"history ingest failed ({history_db}): "
+                  f"{type(exc).__name__}: {exc}", file=sys.stderr)
     return report

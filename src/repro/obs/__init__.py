@@ -48,6 +48,7 @@ from __future__ import annotations
 import threading
 from typing import Any, List, Optional, Tuple
 
+from repro.obs.live import NULL_BUS, EventBus
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetrics
 from repro.obs.tracer import (
     NULL_SPAN,
@@ -56,6 +57,7 @@ from repro.obs.tracer import (
     NullTracer,
     Span,
     Tracer,
+    iter_jsonl,
     load_jsonl,
 )
 
@@ -63,6 +65,7 @@ _tracer = NULL_TRACER
 _metrics = NULL_METRICS
 _session: Optional["ObsSession"] = None
 _local = threading.local()
+_live = NULL_BUS
 
 
 class TelemetryCollector:
@@ -80,10 +83,10 @@ class ObsSession:
     def __init__(self, jsonl_path: Optional[str] = None,
                  max_spans: int = 100_000) -> None:
         self._sink_file = None
-        sink = None
+        self._sink = sink = None
         if jsonl_path is not None:
             self._sink_file = open(jsonl_path, "w", encoding="utf-8")
-            sink = JsonlSink(self._sink_file)
+            self._sink = sink = JsonlSink(self._sink_file)
         self.tracer = Tracer(sink=sink, max_spans=max_spans)
         self.metrics = MetricsRegistry()
         self.flow_stats: List[Any] = []
@@ -92,7 +95,10 @@ class ObsSession:
         self.campaign_reports: List[Any] = []
 
     def close(self) -> None:
-        """Flush and release the JSONL sink, if any."""
+        """Flush and release the JSONL sink, if any (safe to call twice)."""
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None
         if self._sink_file is not None:
             self._sink_file.close()
             self._sink_file = None
@@ -150,6 +156,38 @@ def install_local(tracer_obj: Any, metrics_obj: Any) -> None:
 def clear_local() -> None:
     """Remove this thread's tracer/metrics override, if any."""
     _local.override = None
+
+
+# -- live progress bus ---------------------------------------------------------
+#
+# The live bus is orthogonal to the session: it can run with or without
+# tracing, is shared by every thread (it is internally locked, unlike the
+# tracer's single span stack), and is deliberately *not* forwarded into
+# worker processes — the partition scheduler publishes worker outcomes from
+# the parent, in partition order, so streams stay deterministic.
+
+def live_bus():
+    """The active progress bus (:data:`repro.obs.live.NULL_BUS` when off).
+
+    Call sites must guard emission with ``if bus.enabled:`` so a disabled
+    bus costs one attribute check — no payload allocation, no syscall.
+    """
+    return _live
+
+
+def enable_live(bus: Optional[EventBus] = None) -> EventBus:
+    """Activate live progress streaming; returns the installed bus."""
+    global _live
+    _live = bus if bus is not None else EventBus()
+    return _live
+
+
+def disable_live():
+    """Deactivate streaming; returns the bus that was active (drainable)."""
+    global _live
+    bus = _live
+    _live = NULL_BUS
+    return bus
 
 
 def tracer() -> Tracer:
@@ -244,8 +282,10 @@ def record_campaign_report(report: Any) -> None:
 
 
 __all__ = [
+    "EventBus",
     "JsonlSink",
     "MetricsRegistry",
+    "NULL_BUS",
     "NULL_METRICS",
     "NULL_SPAN",
     "NULL_TRACER",
@@ -257,10 +297,14 @@ __all__ = [
     "Tracer",
     "clear_local",
     "disable",
+    "disable_live",
     "enable",
+    "enable_live",
     "enabled",
     "install",
     "install_local",
+    "iter_jsonl",
+    "live_bus",
     "load_jsonl",
     "metrics",
     "pop_collector",

@@ -35,10 +35,14 @@ class ReportSchemaError(ValueError):
 
 def build_report(session, command: Optional[str] = None) -> Dict[str, Any]:
     """Assemble the JSON-safe run report from an enabled ObsSession."""
+    from repro.hotpath import CODE_VERSION
     return {
         "schema": SCHEMA_NAME,
         "version": SCHEMA_VERSION,
         "command": command,
+        # optional since v3: the flow's cache-key code revision, so the
+        # telemetry history store can attribute runs to code versions
+        "code": CODE_VERSION,
         "trace": [span.to_dict() for span in session.tracer.roots],
         "dropped_spans": session.tracer.dropped_spans,
         "metrics": session.metrics.to_dict(),
@@ -199,6 +203,17 @@ def _check_campaign(entry: Any, where: str) -> None:
                     "nodes_after", "stolen_windows", "pool_restarts",
                     "faults"):
             _check_number(job.get(key), f"{at}.{key}")
+        if "stages" in job:          # optional: per-stage history samples
+            _expect(isinstance(job["stages"], list), at,
+                    "job.stages must be a list")
+            for j, stage in enumerate(job["stages"]):
+                st = f"{at}.stages[{j}]"
+                _expect(isinstance(stage, dict), st,
+                        "stage must be an object")
+                _expect(isinstance(stage.get("name"), str), st,
+                        "stage.name must be a string")
+                _check_number(stage.get("size"), f"{st}.size")
+                _check_number(stage.get("elapsed_s"), f"{st}.elapsed_s")
 
 
 def validate_report(report: Any) -> None:
@@ -218,6 +233,9 @@ def validate_report(report: Any) -> None:
     _expect(report.get("command") is None
             or isinstance(report["command"], str),
             "report.command", "must be a string or null")
+    if "code" in report:             # optional: flow code revision
+        _expect(report["code"] is None or isinstance(report["code"], str),
+                "report.code", "must be a string or null")
     _check_number(report.get("dropped_spans"), "report.dropped_spans")
     _expect(isinstance(report.get("trace"), list), "report.trace",
             "must be a list")
@@ -296,14 +314,27 @@ def format_metrics_table(metrics: Dict[str, Any]) -> str:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Validate a report file; print its trace table on success."""
+    """Validate a report file (or stdin); print its trace table on success.
+
+    ``python -m repro.obs.report <report.json | ->`` — pass ``-`` to read
+    the document from stdin, e.g. piped straight out of a run.  Exit
+    codes: ``0`` valid, ``1`` schema violation, ``2`` usage error,
+    ``3`` unreadable or undecodable input.
+    """
     import sys
     args = list(sys.argv[1:] if argv is None else argv)
     if len(args) != 1:
-        print("usage: python -m repro.obs.report <report.json>")
+        print("usage: python -m repro.obs.report <report.json | ->")
         return 2
-    with open(args[0], "r", encoding="utf-8") as handle:
-        report = json.load(handle)
+    try:
+        if args[0] == "-":
+            report = json.load(sys.stdin)
+        else:
+            with open(args[0], "r", encoding="utf-8") as handle:
+                report = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read report: {exc}", file=sys.stderr)
+        return 3
     try:
         validate_report(report)
     except ReportSchemaError as exc:

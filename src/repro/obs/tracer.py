@@ -32,7 +32,8 @@ from __future__ import annotations
 
 import json
 import time
-from typing import Any, Dict, List, Optional, TextIO
+import warnings
+from typing import Any, Dict, Iterator, List, Optional, TextIO
 
 #: Cap on events stored per span — point events (e.g. gradient move
 #: applications) are interesting individually but unbounded in number.
@@ -154,7 +155,13 @@ NULL_TRACER = NullTracer()
 
 
 class JsonlSink:
-    """Streams span start/end events as JSON lines to a text file."""
+    """Streams span start/end events as JSON lines to a text file.
+
+    The stream is flushed on every span *end*, so the file is tail-able
+    while a long flow runs (``tail -f trace.jsonl``, or the live trace
+    converter in :mod:`repro.obs.trace`); buffering span starts is fine —
+    the matching end always pushes them out.
+    """
 
     def __init__(self, stream: TextIO) -> None:
         self.stream = stream
@@ -175,6 +182,11 @@ class JsonlSink:
         if span.dropped_events:
             record["dropped_events"] = span.dropped_events
         self._write(record)
+        self.stream.flush()
+
+    def close(self) -> None:
+        """Flush anything buffered (the stream itself belongs to the caller)."""
+        self.stream.flush()
 
     def _write(self, record: Dict[str, Any]) -> None:
         self.stream.write(json.dumps(record, sort_keys=True) + "\n")
@@ -260,39 +272,82 @@ class Tracer:
             self.roots.append(span)
 
 
+class JsonlReader:
+    """Streaming iterator over a span JSONL file, crash-write tolerant.
+
+    A run killed mid-write (OOM, ``kill -9``, a chaos interrupt) leaves a
+    truncated final line; offline consumers — the trace converter, history
+    ingest — must read everything *before* the tear rather than raise.
+    Undecodable lines are skipped and counted in :attr:`skipped` (one
+    :class:`RuntimeWarning` is issued at the end of iteration), so silent
+    corruption is still visible to the caller.
+
+    The reader is re-iterable; counters accumulate across iterations.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.skipped = 0      #: undecodable lines tolerated so far
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        skipped_before = self.skipped
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    self.skipped += 1
+                    continue
+                yield record
+        if self.skipped > skipped_before:
+            warnings.warn(
+                f"{self.path}: skipped {self.skipped - skipped_before} "
+                f"undecodable JSONL line(s) — truncated write?",
+                RuntimeWarning, stacklevel=2)
+
+
+def iter_jsonl(path: str) -> JsonlReader:
+    """Stream the records of a JSONL event file (truncation-tolerant).
+
+    Returns a :class:`JsonlReader`; iterate it for the decoded records and
+    read its ``skipped`` counter afterwards for the number of lines that
+    failed to decode (a crash mid-write leaves at most one).
+    """
+    return JsonlReader(path)
+
+
 def load_jsonl(path: str) -> List[Dict[str, Any]]:
     """Rebuild the span tree (as :meth:`Span.to_dict` dicts) from a JSONL sink.
 
     Spans whose ``end`` event is missing (crash mid-span) appear with
-    ``wall_s = 0`` and whatever was known at start time.
+    ``wall_s = 0`` and whatever was known at start time.  Reads through
+    :func:`iter_jsonl`, so a truncated final line is tolerated.
     """
     spans: Dict[int, Dict[str, Any]] = {}
     order: List[int] = []
     parents: Dict[int, Optional[int]] = {}
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
+    for record in iter_jsonl(path):
+        if record.get("ev") == "start":
+            span_id = record["id"]
+            spans[span_id] = {"name": record["name"],
+                              "kind": record["kind"],
+                              "wall_s": 0.0, "cpu_s": 0.0,
+                              "attrs": {}, "events": [], "children": []}
+            parents[span_id] = record.get("parent")
+            order.append(span_id)
+        elif record.get("ev") == "end":
+            span = spans.get(record["id"])
+            if span is None:
                 continue
-            record = json.loads(line)
-            if record.get("ev") == "start":
-                span_id = record["id"]
-                spans[span_id] = {"name": record["name"],
-                                  "kind": record["kind"],
-                                  "wall_s": 0.0, "cpu_s": 0.0,
-                                  "attrs": {}, "events": [], "children": []}
-                parents[span_id] = record.get("parent")
-                order.append(span_id)
-            elif record.get("ev") == "end":
-                span = spans.get(record["id"])
-                if span is None:
-                    continue
-                span["wall_s"] = record.get("wall_s", 0.0)
-                span["cpu_s"] = record.get("cpu_s", 0.0)
-                span["attrs"] = record.get("attrs", {})
-                span["events"] = record.get("events", [])
-                if record.get("dropped_events"):
-                    span["dropped_events"] = record["dropped_events"]
+            span["wall_s"] = record.get("wall_s", 0.0)
+            span["cpu_s"] = record.get("cpu_s", 0.0)
+            span["attrs"] = record.get("attrs", {})
+            span["events"] = record.get("events", [])
+            if record.get("dropped_events"):
+                span["dropped_events"] = record["dropped_events"]
     roots: List[Dict[str, Any]] = []
     for span_id in order:
         parent_id = parents[span_id]

@@ -242,12 +242,20 @@ class PartitionScheduler:
                        if w is not None]
             tasks = [extract_task(aig, w, i) for i, w in enumerate(windows)]
             injections = self._draw_faults(engine, tasks)
+            # Live progress is published from the parent only, and only
+            # during the partition-order merge below — worker processes
+            # never see the bus, so the event payload stream is identical
+            # for every jobs value (the determinism contract; timing lives
+            # in the event envelope, not the payload).
+            bus = obs.live_bus()
+            if bus.enabled:
+                bus.emit("pass_start", engine=engine, windows=len(tasks))
             results, restarts = self._execute(engine, tasks, config,
                                               injections)
             report = ParallelReport(engine=engine, jobs=self.jobs,
                                     pool_restarts=restarts)
             registry = obs.metrics()
-            for window, task in zip(windows, tasks):
+            for done, (window, task) in enumerate(zip(windows, tasks), 1):
                 result = results.get(task.index)
                 if result is None:
                     result = _fallback_result(task, "missing-result")
@@ -264,7 +272,18 @@ class PartitionScheduler:
                     registry.inc("guard.chaos.injected", engine=engine,
                                  kind=kind)
                 report.records.append(record)
+                if bus.enabled:
+                    bus.emit("window", engine=engine, index=record.index,
+                             done=done, total=len(tasks),
+                             applied=record.applied, gain=record.gain,
+                             fallback=record.fallback)
             report.elapsed_s = time.perf_counter() - start
+            if bus.enabled:
+                bus.emit("pass_end", engine=engine,
+                         windows=report.num_windows,
+                         applied=report.num_applied,
+                         gain=report.total_gain,
+                         fallbacks=report.num_fallbacks)
             self._observe_report(report, pass_span)
             # Outside the enabled() gate: a campaign job collector must see
             # every pass even when no obs session is active.

@@ -313,13 +313,15 @@ class _StageRunner:
     def __init__(self, config: FlowConfig, stats: FlowStats,
                  report: GuardReport, deadline: DeadlineManager,
                  guard: Optional[StageGuard],
-                 depth_limit: Optional[int]) -> None:
+                 depth_limit: Optional[int],
+                 total_stages: int = 0) -> None:
         self.config = config
         self.stats = stats
         self.report = report
         self.deadline = deadline
         self.guard = guard
         self.depth_limit = depth_limit
+        self.total_stages = total_stages
 
     def run_stage(self, aig: Aig, spec: _StageSpec, iteration: int,
                   stage_index: int) -> Aig:
@@ -327,12 +329,20 @@ class _StageRunner:
         effort = iteration + 1
         plan = self.deadline.plan(spec.name)
         level = FULL if spec.vital else plan.level
+        bus = obs.live_bus()
+        if bus.enabled:
+            bus.emit("stage_start", stage=spec.name, effort=effort,
+                     index=stage_index, total=self.total_stages)
         if level == SKIP:
             self.stats.record(f"{spec.name}:skipped[{effort}]", aig.num_ands)
             self.report.add("skipped", spec.name, iteration,
                             remaining_s=plan.remaining_s)
             obs.metrics().inc("guard.stage_skipped", stage=spec.name)
             self.deadline.finish(spec.name)
+            if bus.enabled:
+                bus.emit("stage_end", stage=spec.name, effort=effort,
+                         index=stage_index, total=self.total_stages,
+                         nodes=aig.num_ands, level="skipped")
             return aig
         if level == REDUCED:
             self.report.add("degraded", spec.name, iteration,
@@ -362,6 +372,11 @@ class _StageRunner:
             self.stats.record(f"{spec.name}[{effort}]", result.num_ands,
                               time.perf_counter() - t0)
         self.deadline.finish(spec.name)
+        if bus.enabled:
+            bus.emit("stage_end", stage=spec.name, effort=effort,
+                     index=stage_index, total=self.total_stages,
+                     nodes=result.num_ands,
+                     level="reduced" if level == REDUCED else "full")
         return result
 
     def _depth_guard(self, candidate: Aig, previous: Aig, stage: str,
@@ -518,6 +533,11 @@ def _execute_flow(aig: Aig, config: FlowConfig, specs: List[_StageSpec],
             start_index = 0
             prior_runtime = 0.0
         flow_span.set("nodes_before", best.num_ands)
+        bus = obs.live_bus()
+        if bus.enabled:
+            bus.emit("flow_start", design=aig.name, nodes=best.num_ands,
+                     stages=total, iterations=config.iterations,
+                     resumed_at=start_index)
         deadline = DeadlineManager(config.flow_timeout_s,
                                    total - start_index)
         store = CheckpointStore(config.checkpoint_dir) \
@@ -525,7 +545,7 @@ def _execute_flow(aig: Aig, config: FlowConfig, specs: List[_StageSpec],
         guard = StageGuard(current.cleanup()) \
             if config.verify_each_step else None
         runner = _StageRunner(config, stats, report, deadline, guard,
-                              depth_limit)
+                              depth_limit, total_stages=total)
 
         def checkpoint(stage_index: int, iteration: int,
                        stage_name: str) -> None:
@@ -576,4 +596,6 @@ def _execute_flow(aig: Aig, config: FlowConfig, specs: List[_StageSpec],
         stats.runtime_s = prior_runtime + (time.time() - start_wall)
         stats.record("final", best.num_ands)
         flow_span.set("nodes_after", best.num_ands)
+        if bus.enabled:
+            bus.emit("flow_end", design=aig.name, nodes=best.num_ands)
     return best

@@ -1,0 +1,293 @@
+"""Tests for the telemetry history store (repro.obs.history).
+
+Pins down the ISSUE's acceptance criteria: ingest idempotence (re-ingest
+of the same report is a counted no-op), the regression detector firing on
+a synthetic 2× slowdown while staying quiet on ±10 % noise, node-count
+regressions at both job and stage grain, the CLI exit-code contract, and
+the ``run_campaign(history_db=...)`` auto-ingest hook.
+"""
+
+import io
+import json
+import os
+
+import pytest
+
+from tests.conftest import make_random_aig
+from repro.obs.history import (
+    HistoryStore,
+    detect_git_rev,
+    ingest_key_of,
+    main as history_main,
+    wrap_campaign_report,
+)
+from repro.obs.report import main as report_main, validate_report
+
+
+def campaign_doc(runtime=1.0, nodes=900, suite="suite", benchmark="i2c",
+                 outcome="miss", stage_s=None, tag=""):
+    """A minimal, valid ``campaign`` report section for one job."""
+    stage_s = runtime / 2 if stage_s is None else stage_s
+    return {
+        "suite": suite, "cache_dir": None, "jobs": 1,
+        "hits": 1 if outcome == "hit" else 0,
+        "misses": 1 if outcome == "miss" else 0,
+        "deduped": 0, "uncached": 1 if outcome == "uncached" else 0,
+        "errors": 0, "corrupt_entries": 0, "stolen_windows": 0,
+        "pool_rebuilds": 0, "pool_restarts": 0,
+        "elapsed_s": runtime, "cpu_s": runtime, "worker_wall_s": 0.0,
+        "parallel": None,
+        "jobs_detail": [{
+            "name": benchmark, "benchmark": benchmark, "outcome": outcome,
+            "key": f"key-{tag}", "wall_s": runtime,
+            "flow_runtime_s": 0.0 if outcome == "hit" else runtime,
+            "nodes_before": 1000, "nodes_after": nodes,
+            "stolen_windows": 0, "pool_restarts": 0, "faults": 0,
+            "engine_gain": {}, "error": None,
+            "stages": [
+                {"name": "mspf", "size": nodes + 10, "elapsed_s": stage_s},
+                {"name": "mfs2", "size": nodes, "elapsed_s": stage_s},
+            ],
+        }],
+    }
+
+
+def make_report(**kwargs):
+    doc = wrap_campaign_report(campaign_doc(**kwargs))
+    validate_report(doc)   # the wrapper must stay schema-valid
+    return doc
+
+
+@pytest.fixture
+def db(tmp_path):
+    return str(tmp_path / "history.db")
+
+
+class TestIngest:
+    def test_ingest_and_idempotence(self, db):
+        doc = make_report(tag="a")
+        with HistoryStore(db) as store:
+            first = store.ingest(doc)
+            assert first == 1
+            assert store.ingest(doc) is None      # exact re-ingest: no-op
+            assert store.run_count() == 1
+            # a different document ingests as a new run
+            assert store.ingest(make_report(runtime=1.01, tag="b")) == 2
+            assert store.run_count() == 2
+
+    def test_ingest_key_is_content_hash(self):
+        a, b = make_report(tag="x"), make_report(tag="x")
+        assert ingest_key_of(a) == ingest_key_of(b)
+        assert ingest_key_of(a) != ingest_key_of(make_report(tag="y"))
+
+    def test_rows_materialized(self, db):
+        with HistoryStore(db) as store:
+            store.ingest(make_report(), git_rev="abc1234")
+            run = store.runs()[0]
+            assert run["suite"] == "suite"
+            assert run["git_rev"] == "abc1234"
+            assert run["code_version"]            # CODE_VERSION recorded
+            jobs = store.conn.execute("SELECT COUNT(*) FROM jobs") \
+                .fetchone()[0]
+            stages = store.conn.execute("SELECT COUNT(*) FROM stages") \
+                .fetchone()[0]
+            assert (jobs, stages) == (1, 2)
+
+    def test_invalid_report_rejected(self, db):
+        from repro.obs.report import ReportSchemaError
+        with HistoryStore(db) as store:
+            with pytest.raises(ReportSchemaError):
+                store.ingest({"schema": "nope"})
+            assert store.run_count() == 0
+
+
+class TestRegress:
+    def _seed(self, store, runtimes, nodes=900):
+        for i, runtime in enumerate(runtimes):
+            store.ingest(make_report(runtime=runtime, nodes=nodes,
+                                     tag=f"seed{i}"))
+
+    def test_fires_on_2x_slowdown(self, db):
+        with HistoryStore(db) as store:
+            self._seed(store, [1.0, 1.05, 0.95, 1.0])
+            store.ingest(make_report(runtime=2.0, tag="slow"))
+            findings = store.regress()
+        kinds = {f.kind for f in findings}
+        assert "job_time" in kinds and "stage_time" in kinds
+        worst = findings[0]
+        assert worst.ratio == pytest.approx(2.0, rel=0.15)
+        assert worst.benchmark == "i2c"
+        assert "vs median" in worst.describe()
+
+    def test_quiet_on_noise(self, db):
+        with HistoryStore(db) as store:
+            self._seed(store, [1.0, 1.1, 0.9, 1.05])
+            store.ingest(make_report(runtime=1.1, tag="noisy"))   # +10 %
+            assert store.regress() == []
+
+    def test_absolute_floor_mutes_micro_stages(self, db):
+        # 3x ratio but only 30 ms over baseline: below the 50 ms floor
+        with HistoryStore(db) as store:
+            self._seed(store, [0.015, 0.015, 0.015])
+            store.ingest(make_report(runtime=0.045, tag="tiny"))
+            assert [f for f in store.regress()
+                    if f.kind.endswith("_time")] == []
+
+    def test_node_regression_at_both_grains(self, db):
+        with HistoryStore(db) as store:
+            self._seed(store, [1.0, 1.0, 1.0], nodes=900)
+            store.ingest(make_report(runtime=1.0, nodes=990, tag="grew"))
+            findings = store.regress()
+        kinds = {f.kind for f in findings}
+        assert "job_nodes" in kinds and "stage_nodes" in kinds
+
+    def test_warm_outcomes_excluded_from_time_checks(self, db):
+        with HistoryStore(db) as store:
+            self._seed(store, [1.0, 1.0, 1.0])
+            # a hit reports the cold run's stats; its wall time is not ours
+            store.ingest(make_report(runtime=9.0, outcome="hit",
+                                     tag="warm"))
+            findings = store.regress()
+        assert [f for f in findings if f.kind.endswith("_time")] == []
+
+    def test_no_history_is_quiet(self, db):
+        with HistoryStore(db) as store:
+            assert store.regress() == []
+            store.ingest(make_report())
+            assert store.regress() == []          # nothing prior to compare
+
+
+class TestCli:
+    def test_ingest_trend_regress_cycle(self, db, tmp_path, capsys):
+        paths = []
+        for i, runtime in enumerate([1.0, 1.02, 0.98]):
+            path = str(tmp_path / f"r{i}.json")
+            with open(path, "w") as handle:
+                json.dump(make_report(runtime=runtime, tag=str(i)), handle)
+            paths.append(path)
+        assert history_main(["ingest", db, *paths]) == 0
+        out = capsys.readouterr().out
+        assert "3 ingested" in out
+        # duplicates are counted, not fatal
+        assert history_main(["ingest", db, paths[0]]) == 0
+        assert "1 duplicate" in capsys.readouterr().out
+        assert history_main(["trend", db, "--benchmark", "i2c"]) == 0
+        assert "i2c" in capsys.readouterr().out
+        assert history_main(["regress", db]) == 0
+        assert "quiet" in capsys.readouterr().out
+        # inject the slowdown: the gate exits 1
+        slow = str(tmp_path / "slow.json")
+        with open(slow, "w") as handle:
+            json.dump(make_report(runtime=2.2, tag="slow"), handle)
+        assert history_main(["ingest", db, slow]) == 0
+        assert history_main(["regress", db]) == 1
+        assert "regression(s) confirmed" in capsys.readouterr().out
+
+    def test_stage_trend(self, db, tmp_path, capsys):
+        for i in range(2):
+            path = str(tmp_path / f"t{i}.json")
+            with open(path, "w") as handle:
+                json.dump(make_report(nodes=900 - 10 * i, tag=f"t{i}"),
+                          handle)
+            history_main(["ingest", db, path])
+        capsys.readouterr()
+        assert history_main(["trend", db, "--stage", "mfs2"]) == 0
+        out = capsys.readouterr().out
+        assert "mfs2" in out and "-10" in out
+
+    def test_usage_and_error_exits(self, db, tmp_path, capsys):
+        assert history_main([]) == 2
+        assert history_main(["frobnicate", db]) == 2
+        assert history_main(["ingest", db]) == 2
+        assert history_main(["ingest", db,
+                             str(tmp_path / "missing.json")]) == 3
+        bad = str(tmp_path / "bad.json")
+        with open(bad, "w") as handle:
+            json.dump({"schema": "wrong"}, handle)
+        assert history_main(["ingest", db, bad]) == 1
+        assert "SCHEMA ERROR" in capsys.readouterr().err
+
+    def test_ingest_from_stdin(self, db, monkeypatch, capsys):
+        doc = make_report(tag="stdin")
+        monkeypatch.setattr("sys.stdin", io.StringIO(json.dumps(doc)))
+        assert history_main(["ingest", db, "-"]) == 0
+        assert "ingested as run #1" in capsys.readouterr().out
+
+    def test_regress_insufficient_history(self, db, tmp_path, capsys):
+        path = str(tmp_path / "only.json")
+        with open(path, "w") as handle:
+            json.dump(make_report(), handle)
+        history_main(["ingest", db, path])
+        capsys.readouterr()
+        assert history_main(["regress", db]) == 0
+        assert "insufficient history" in capsys.readouterr().out
+
+
+class TestReportCliSatellites:
+    def test_report_validator_reads_stdin(self, monkeypatch, capsys):
+        doc = make_report(tag="pipe")
+        monkeypatch.setattr("sys.stdin", io.StringIO(json.dumps(doc)))
+        assert report_main(["-"]) == 0
+        assert "valid repro.obs/run-report v3" in capsys.readouterr().out
+
+    def test_report_validator_unreadable_exits_3(self, tmp_path):
+        assert report_main([str(tmp_path / "missing.json")]) == 3
+        undecodable = str(tmp_path / "torn.json")
+        with open(undecodable, "w") as handle:
+            handle.write('{"schema": "repro')
+        assert report_main([undecodable]) == 3
+
+    def test_optional_code_and_stages_validate(self):
+        doc = make_report(tag="optional")
+        assert doc["code"]                         # build carries CODE_VERSION
+        validate_report(doc)
+        from repro.obs.report import ReportSchemaError
+        broken = json.loads(json.dumps(doc))
+        broken["code"] = 7
+        with pytest.raises(ReportSchemaError):
+            validate_report(broken)
+        broken = json.loads(json.dumps(doc))
+        broken["campaign"][0]["jobs_detail"][0]["stages"] = [{"name": 3}]
+        with pytest.raises(ReportSchemaError):
+            validate_report(broken)
+
+
+class TestCampaignIntegration:
+    def test_run_campaign_auto_ingests(self, tmp_path):
+        from repro.campaign.runner import CampaignJob, run_campaign
+        from repro.sbm.config import FlowConfig
+        db = str(tmp_path / "auto.db")
+        aig = make_random_aig(8, 150, seed=13)
+        job = CampaignJob(name="tiny", benchmark="adhoc", network=aig,
+                          config=FlowConfig(iterations=1))
+        run_campaign([job], suite="auto-test", history_db=db)
+        assert os.path.exists(db)
+        with HistoryStore(db) as store:
+            assert store.run_count() == 1
+            run = store.runs()[0]
+            assert run["suite"] == "auto-test"
+            bench = store.conn.execute(
+                "SELECT benchmark, outcome FROM jobs").fetchone()
+            assert bench == ("adhoc", "uncached")
+            stage_rows = store.conn.execute(
+                "SELECT COUNT(*) FROM stages").fetchone()[0]
+            assert stage_rows >= 5      # per-stage history materialized
+
+    def test_history_failure_never_sinks_campaign(self, tmp_path, capsys):
+        from repro.campaign.runner import CampaignJob, run_campaign
+        from repro.sbm.config import FlowConfig
+        # a directory path is not a usable sqlite file
+        bad_db = str(tmp_path)
+        aig = make_random_aig(8, 120, seed=17)
+        job = CampaignJob(name="tiny", benchmark="adhoc", network=aig,
+                          config=FlowConfig(iterations=1))
+        report = run_campaign([job], history_db=bad_db)
+        assert report.errors == 0
+        assert "history ingest failed" in capsys.readouterr().err
+
+
+def test_detect_git_rev_in_repo():
+    rev = detect_git_rev(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    # the repo under test is a git checkout; tolerate None elsewhere
+    assert rev is None or (isinstance(rev, str) and len(rev) >= 6)

@@ -1,0 +1,205 @@
+"""Tests for the profile exporter (repro.obs.trace).
+
+The round-trip the ISSUE pins down: trace a **real i2c flow** to JSONL,
+convert it to Chrome trace-event and speedscope documents, and verify
+both against their structural invariants (non-negative durations,
+balanced + monotonic speedscope events).  Synthetic traces cover the
+defensive re-nesting (worker ``record`` spans overhanging their parent)
+and crash-truncated inputs.
+"""
+
+import json
+
+import pytest
+
+from tests.conftest import make_random_aig
+from repro import obs
+from repro.obs.trace import (
+    check_chrome,
+    check_speedscope,
+    load_spans,
+    main as trace_main,
+    to_chrome,
+    to_speedscope,
+)
+from repro.sbm.config import FlowConfig
+from repro.sbm.flow import sbm_flow
+
+
+@pytest.fixture(scope="module")
+def i2c_trace(tmp_path_factory):
+    """A real flow trace: i2c through one full SBM iteration."""
+    from repro.bench.registry import get_benchmark
+    path = str(tmp_path_factory.mktemp("trace") / "i2c.jsonl")
+    aig = get_benchmark("i2c", scaled=True)
+    obs.enable(jsonl_path=path)
+    try:
+        sbm_flow(aig, FlowConfig(iterations=1))
+    finally:
+        obs.disable()
+    return path
+
+
+class TestRealTraceRoundTrip:
+    def test_loads_full_span_forest(self, i2c_trace):
+        roots, skipped = load_spans(i2c_trace)
+        assert skipped == 0
+        assert len(roots) == 1            # one flow root
+        flow = roots[0]
+        assert flow.name == "flow"
+        assert flow.wall_s > 0
+        names = set()
+        stack = list(flow.children)
+        while stack:
+            span = stack.pop()
+            names.add(span.name)
+            stack.extend(span.children)
+        assert "mspf" in names
+
+    def test_chrome_document_valid(self, i2c_trace):
+        roots, _ = load_spans(i2c_trace)
+        doc = to_chrome(roots)
+        assert check_chrome(doc) == []
+        events = doc["traceEvents"]
+        with open(i2c_trace) as handle:
+            starts = sum(1 for line in handle
+                         if json.loads(line).get("ev") == "start")
+        assert len(events) == starts      # one X event per traced span
+        root = events[0]
+        assert root["name"] == "flow" and root["ph"] == "X"
+        assert all(e["dur"] >= 0 for e in events)
+        # children nest inside the root in time
+        t0, t1 = root["ts"], root["ts"] + root["dur"]
+        for event in events[1:5]:
+            assert event["ts"] >= t0 - 1e-3
+
+    def test_speedscope_document_valid(self, i2c_trace):
+        roots, _ = load_spans(i2c_trace)
+        doc = to_speedscope(roots)
+        assert check_speedscope(doc) == []
+        profile = doc["profiles"][0]
+        assert profile["type"] == "evented"
+        assert len(profile["events"]) % 2 == 0
+        assert profile["endValue"] >= roots[0].wall_s
+        frame_names = {f["name"] for f in doc["shared"]["frames"]}
+        assert "flow" in frame_names and "mspf" in frame_names
+
+    def test_cli_converts_and_checks(self, i2c_trace, tmp_path, capsys):
+        chrome = str(tmp_path / "chrome.json")
+        speedscope = str(tmp_path / "profile.json")
+        status = trace_main([i2c_trace, "--chrome", chrome,
+                             "--speedscope", speedscope, "--check"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "check ok" in out
+        with open(chrome) as handle:
+            assert check_chrome(json.load(handle)) == []
+        with open(speedscope) as handle:
+            assert check_speedscope(json.load(handle)) == []
+
+
+def _write_jsonl(path, records):
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+
+
+class TestDefensiveNesting:
+    def test_worker_span_overhanging_parent(self, tmp_path):
+        """A record() span measured in a worker can outlast its parent."""
+        path = str(tmp_path / "overhang.jsonl")
+        _write_jsonl(path, [
+            {"ev": "start", "id": 0, "parent": None, "name": "stage",
+             "kind": "stage", "t": 0.0},
+            {"ev": "start", "id": 1, "parent": 0, "name": "window",
+             "kind": "window", "t": 0.5},
+            # worker wall time pushes the child end past the parent's
+            {"ev": "end", "id": 1, "wall_s": 9.0, "cpu_s": 0.0,
+             "attrs": {}, "events": []},
+            {"ev": "end", "id": 0, "wall_s": 1.0, "cpu_s": 0.0,
+             "attrs": {}, "events": []},
+        ])
+        roots, _ = load_spans(path)
+        doc = to_speedscope(roots)
+        assert check_speedscope(doc) == []
+
+    def test_missing_end_record(self, tmp_path):
+        path = str(tmp_path / "crash.jsonl")
+        _write_jsonl(path, [
+            {"ev": "start", "id": 0, "parent": None, "name": "flow",
+             "kind": "flow", "t": 0.0},
+            {"ev": "start", "id": 1, "parent": 0, "name": "mspf",
+             "kind": "stage", "t": 0.1},
+        ])
+        roots, _ = load_spans(path)
+        assert roots[0].wall_s == 0.0
+        assert check_chrome(to_chrome(roots)) == []
+        assert check_speedscope(to_speedscope(roots)) == []
+
+    def test_truncated_trace_converts(self, tmp_path):
+        path = str(tmp_path / "torn.jsonl")
+        with open(path, "w") as handle:
+            handle.write(json.dumps(
+                {"ev": "start", "id": 0, "parent": None, "name": "flow",
+                 "kind": "flow", "t": 0.0}) + "\n")
+            handle.write('{"ev": "end", "id": 0, "wall')   # torn
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            roots, skipped = load_spans(path)
+        assert skipped == 1 and len(roots) == 1
+
+
+class TestValidators:
+    def test_check_chrome_flags_problems(self):
+        assert check_chrome({"traceEvents": "nope"}) != []
+        bad = {"traceEvents": [{"name": "x", "ph": "B", "ts": 0, "dur": -1}]}
+        problems = check_chrome(bad)
+        assert any("phase" in p for p in problems)
+        assert any("negative" in p for p in problems)
+
+    def test_check_speedscope_flags_problems(self):
+        doc = {
+            "shared": {"frames": [{"name": "a"}]},
+            "profiles": [{"type": "evented", "startValue": 0.0,
+                          "endValue": 1.0,
+                          "events": [
+                              {"type": "O", "frame": 0, "at": 0.5},
+                              {"type": "C", "frame": 0, "at": 0.2},  # rewind
+                          ]}],
+        }
+        problems = check_speedscope(doc)
+        assert any("monotonic" in p for p in problems)
+        doc["profiles"][0]["events"] = [{"type": "O", "frame": 0, "at": 0.1}]
+        assert any("left open" in p
+                   for p in check_speedscope(doc))
+
+
+class TestCli:
+    def test_usage_errors(self, capsys):
+        assert trace_main([]) == 2
+        assert trace_main(["a.jsonl"]) == 2             # no output selected
+        assert trace_main(["--chrome", "o.json"]) == 2  # no input
+
+    def test_unreadable_input(self, tmp_path):
+        missing = str(tmp_path / "missing.jsonl")
+        assert trace_main([missing, "--chrome",
+                           str(tmp_path / "o.json")]) == 3
+
+    def test_empty_trace_rejected(self, tmp_path):
+        path = str(tmp_path / "empty.jsonl")
+        open(path, "w").close()
+        assert trace_main([path, "--chrome",
+                           str(tmp_path / "o.json")]) == 3
+
+    def test_synthetic_trace_small(self, tmp_path, capsys):
+        path = str(tmp_path / "s.jsonl")
+        aig = make_random_aig(6, 80, seed=2)
+        obs.enable(jsonl_path=path)
+        try:
+            sbm_flow(aig, FlowConfig(iterations=1))
+        finally:
+            obs.disable()
+        out = str(tmp_path / "out.json")
+        assert trace_main([path, "--speedscope", out, "--check"]) == 0
+        assert "speedscope profile" in capsys.readouterr().out
