@@ -19,6 +19,22 @@ Commands
                          depth for ad-hoc benchmark lists, ``--tier NAME``
                          additionally includes the suite's jobs marked
                          with that tier (e.g. ``--tier nightly-large``)
+``fuzz run [suite.toml]``
+                         differential workload fuzzing (``repro.fuzz``):
+                         seeded random networks through the flow, each
+                         cross-examined by the oracle stack (SAT CEC,
+                         hotpath identity, jobs bit-identity, crash
+                         capture, chaos sweeps).  ``--budget N`` cases,
+                         ``--seed S`` the recipe stream, ``--tier NAME``
+                         picks the suite tier, ``--bundle-dir DIR``
+                         collects failure repro bundles, ``--corpus-dir
+                         DIR`` the persistent novelty corpus; exits 1 on
+                         any oracle verdict
+``fuzz repro <bundle>``  replay a failure bundle from the file alone and
+                         compare against its recorded verdict
+                         (``--original`` replays the unminimized
+                         network); exits 0 only when the exact verdict
+                         reproduces
 
 Options
 -------
@@ -338,6 +354,8 @@ def _dispatch(command: str, rest: List[str], jobs: int,
             return 1
     elif command == "campaign":
         return _run_campaign_command(rest, jobs, guard_opts, chaos_plan)
+    elif command == "fuzz":
+        return _run_fuzz_command(rest, guard_opts)
     elif command == "bench":
         from repro.bench.registry import benchmark_names, get_benchmark
         names = rest or benchmark_names()
@@ -398,6 +416,88 @@ def _run_campaign_command(rest: List[str], jobs: int,
           f"pool_rebuilds={report.pool_rebuilds}  "
           f"corrupt_entries={report.corrupt_entries}")
     return 1 if report.errors else 0
+
+
+def _run_fuzz_command(rest: List[str], guard_opts: GuardOptions) -> int:
+    """``python -m repro fuzz run|repro ...`` (see ``repro.fuzz``)."""
+    import dataclasses
+    import os
+    if not rest:
+        raise SystemExit("fuzz requires a subcommand: run | repro")
+    sub, rest = rest[0], rest[1:]
+    if sub == "run":
+        from repro.fuzz import FuzzConfig, load_fuzz_suite, run_fuzz
+        rest, budget = _extract_value_flag(rest, "--budget")
+        rest, seed = _extract_value_flag(rest, "--seed")
+        rest, bundle_dir = _extract_value_flag(rest, "--bundle-dir")
+        rest, corpus_dir = _extract_value_flag(rest, "--corpus-dir")
+        rest, stop_after = _extract_value_flag(rest, "--stop-after")
+        if rest and os.path.exists(rest[0]):
+            config = load_fuzz_suite(rest[0], tier=guard_opts.tier)
+        else:
+            config = FuzzConfig()
+        overrides = {}
+        try:
+            if budget is not None:
+                overrides["budget"] = int(budget)
+            if seed is not None:
+                overrides["seed"] = int(seed)
+            if stop_after is not None:
+                overrides["stop_after_failures"] = int(stop_after)
+        except ValueError as exc:
+            raise SystemExit(f"fuzz run: {exc}") from None
+        if bundle_dir is not None:
+            overrides["bundle_dir"] = bundle_dir
+        if corpus_dir is not None:
+            overrides["corpus_dir"] = corpus_dir
+        if overrides:
+            config = dataclasses.replace(config, **overrides)
+        report = run_fuzz(config, history_db=guard_opts.history_db)
+        for row in report.cases:
+            primary = row.verdict.primary
+            if primary is None:
+                continue
+            line = (f"{row.name}  {primary.check}: {primary.kind}"
+                    f"  [{row.fingerprint}]")
+            if row.bundle_path:
+                line += f"  -> {row.bundle_path}"
+            print(line)
+        print(f"fuzz '{report.name}': {report.executed} cases "
+              f"(seed={report.seed})  failures={report.failures} "
+              f"unique={report.unique_failures}")
+        print(f"  corpus: replayed={report.corpus_replayed} "
+              f"added={report.corpus_added}  "
+              f"elapsed={report.elapsed_s:.2f}s")
+        return 1 if report.failures else 0
+    if sub == "repro":
+        from repro.fuzz import load_bundle, replay_bundle
+        original = "--original" in rest
+        rest = [a for a in rest if a != "--original"]
+        if not rest:
+            raise SystemExit("fuzz repro requires a bundle path")
+        try:
+            bundle = load_bundle(rest[0])
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"unreadable bundle {rest[0]}: {exc}")
+            return 2
+        result = replay_bundle(bundle, minimized=not original)
+        expected = result.expected
+        actual = result.verdict.primary
+        print(f"bundle   : {bundle.fingerprint}  "
+              f"(generator {bundle.recipe.get('generator')}, "
+              f"seed {bundle.recipe.get('seed')})")
+        if bundle.injected:
+            print(f"injected : {bundle.injected}  (test-only fault hook)")
+        print(f"expected : {expected.check}: {expected.kind}"
+              f" @ {expected.stage}" if expected is not None
+              else "expected : <none>")
+        print(f"actual   : {actual.check}: {actual.kind} @ {actual.stage}"
+              if actual is not None else "actual   : no failure")
+        status = "REPRODUCED" if result.reproduced else "NOT REPRODUCED"
+        print(f"verdict  : {status}")
+        return 0 if result.reproduced else 1
+    raise SystemExit(f"unknown fuzz subcommand {sub!r} (expected run | "
+                     f"repro)")
 
 
 if __name__ == "__main__":

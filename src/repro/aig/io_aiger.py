@@ -12,7 +12,7 @@ import io
 from typing import List, TextIO, Union
 
 from repro.aig.aig import Aig, lit_is_compl, lit_node, lit_notcond
-from repro.errors import AigError
+from repro.errors import AigerParseError
 
 
 def write_aag(aig: Aig, target: Union[str, TextIO]) -> None:
@@ -71,62 +71,137 @@ def read_aag(source: Union[str, TextIO], name: str = "aag") -> Aig:
 
 
 def _parse_aag(handle: TextIO, name: str) -> Aig:
-    header = handle.readline().split()
+    reader = _LineReader(handle)
+    header = reader.next_fields("AIGER header")
     if len(header) < 6 or header[0] != "aag":
-        raise AigError(f"not an ASCII AIGER header: {header}")
-    _max_var, num_in, num_latch, num_out, num_and = (int(x) for x in header[1:6])
+        raise AigerParseError(f"not an ASCII AIGER header: {header}",
+                              line=reader.line)
+    _max_var, num_in, num_latch, num_out, num_and = (
+        reader.to_int(x, "header field") for x in header[1:6])
+    if min(_max_var, num_in, num_latch, num_out, num_and) < 0:
+        raise AigerParseError("negative count in AIGER header",
+                              line=reader.line)
     if num_latch:
-        raise AigError("sequential AIGER files are not supported")
+        raise AigerParseError("sequential AIGER files are not supported",
+                              line=reader.line)
+    max_lit = 2 * _max_var + 1
     aig = Aig(name)
     in_lits: List[int] = []
     for _ in range(num_in):
-        line = handle.readline().split()
-        in_lits.append(int(line[0]))
+        fields = reader.next_fields("input definition")
+        in_lits.append(reader.literal(fields[0], max_lit, "input"))
     out_lits: List[int] = []
+    out_lines: List[int] = []
     for _ in range(num_out):
-        out_lits.append(int(handle.readline().split()[0]))
+        fields = reader.next_fields("output definition")
+        out_lits.append(reader.literal(fields[0], max_lit, "output"))
+        out_lines.append(reader.line)
     and_rows = []
     for _ in range(num_and):
-        row = handle.readline().split()
-        and_rows.append((int(row[0]), int(row[1]), int(row[2])))
+        row = reader.next_fields("AND definition")
+        if len(row) < 3:
+            raise AigerParseError(
+                f"AND definition needs 3 literals, got {len(row)}",
+                line=reader.line)
+        and_rows.append((reader.literal(row[0], max_lit, "AND lhs"),
+                         reader.literal(row[1], max_lit, "AND rhs"),
+                         reader.literal(row[2], max_lit, "AND rhs"),
+                         reader.line))
 
     mapping = {0: 0}
     pi_lits = aig.add_pis(num_in)
     for file_lit, our_lit in zip(in_lits, pi_lits):
         if file_lit & 1:
-            raise AigError("complemented input definition")
+            raise AigerParseError(
+                f"complemented input definition {file_lit}")
+        if file_lit >> 1 in mapping:
+            raise AigerParseError(
+                f"input literal {file_lit} redefines variable "
+                f"{file_lit >> 1}")
         mapping[file_lit >> 1] = our_lit
 
-    def resolve(file_lit: int) -> int:
+    def resolve(file_lit: int, line: int) -> int:
         node = file_lit >> 1
         if node not in mapping:
-            raise AigError(f"literal {file_lit} used before definition")
+            raise AigerParseError(
+                f"literal {file_lit} used before definition", line=line)
         return lit_notcond(mapping[node], bool(file_lit & 1))
 
     # AIGER guarantees definitions before uses for ANDs in well-formed files,
     # but sort defensively by lhs just in case.
     and_rows.sort(key=lambda row: row[0])
-    for lhs, rhs0, rhs1 in and_rows:
+    for lhs, rhs0, rhs1, line in and_rows:
         if lhs & 1:
-            raise AigError("complemented AND definition")
-        mapping[lhs >> 1] = aig.add_and(resolve(rhs0), resolve(rhs1))
+            raise AigerParseError(f"complemented AND definition {lhs}",
+                                  line=line)
+        if lhs >> 1 in mapping:
+            raise AigerParseError(
+                f"AND literal {lhs} redefines variable {lhs >> 1}",
+                line=line)
+        mapping[lhs >> 1] = aig.add_and(resolve(rhs0, line),
+                                        resolve(rhs1, line))
 
     # Symbol table (optional).
     pi_names = {}
     po_names = {}
     for line in handle:
+        reader.line += 1
         line = line.strip()
         if not line or line == "c":
             break
         if line[0] == "i":
             idx, _sep, symbol = line[1:].partition(" ")
-            pi_names[int(idx)] = symbol
+            pi_names[reader.symbol_index(idx, num_in, "input")] = symbol
         elif line[0] == "o":
             idx, _sep, symbol = line[1:].partition(" ")
-            po_names[int(idx)] = symbol
+            po_names[reader.symbol_index(idx, num_out, "output")] = symbol
 
     for i, file_lit in enumerate(out_lits):
-        aig.add_po(resolve(file_lit), po_names.get(i))
+        aig.add_po(resolve(file_lit, out_lines[i]), po_names.get(i))
     for i, symbol in pi_names.items():
         aig._pi_names[i] = symbol
     return aig
+
+
+class _LineReader:
+    """Line-tracking reads so every parse defect can name its line."""
+
+    def __init__(self, handle: TextIO) -> None:
+        self.handle = handle
+        self.line = 0
+
+    def next_fields(self, what: str) -> List[str]:
+        """Fields of the next line; raises on EOF or a blank line."""
+        text = self.handle.readline()
+        self.line += 1
+        if not text:
+            raise AigerParseError(f"unexpected end of file, expected {what}",
+                                  line=self.line)
+        fields = text.split()
+        if not fields:
+            raise AigerParseError(f"blank line where {what} was expected",
+                                  line=self.line)
+        return fields
+
+    def to_int(self, token: str, what: str) -> int:
+        try:
+            return int(token)
+        except ValueError:
+            raise AigerParseError(f"{what} is not an integer: {token!r}",
+                                  line=self.line) from None
+
+    def literal(self, token: str, max_lit: int, what: str) -> int:
+        value = self.to_int(token, f"{what} literal")
+        if value < 0 or value > max_lit:
+            raise AigerParseError(
+                f"{what} literal {value} outside the header's range "
+                f"0..{max_lit}", line=self.line)
+        return value
+
+    def symbol_index(self, token: str, count: int, what: str) -> int:
+        index = self.to_int(token, f"{what} symbol index")
+        if index < 0 or index >= count:
+            raise AigerParseError(
+                f"{what} symbol index {index} out of range (have {count})",
+                line=self.line)
+        return index

@@ -16,7 +16,7 @@ import io
 from typing import BinaryIO, List, Union
 
 from repro.aig.aig import Aig, lit_is_compl, lit_node, lit_notcond
-from repro.errors import AigError
+from repro.errors import AigerParseError
 
 
 def _encode_delta(value: int, out: bytearray) -> None:
@@ -27,13 +27,27 @@ def _encode_delta(value: int, out: bytearray) -> None:
     out.append(value)
 
 
-def _decode_delta(handle: BinaryIO) -> int:
+class _ByteReader:
+    """Byte-counting reads so every parse defect can name its offset."""
+
+    def __init__(self, handle: BinaryIO) -> None:
+        self.handle = handle
+        self.offset = 0
+
+    def read1(self) -> bytes:
+        raw = self.handle.read(1)
+        self.offset += len(raw)
+        return raw
+
+
+def _decode_delta(reader: _ByteReader) -> int:
     value = 0
     shift = 0
     while True:
-        raw = handle.read(1)
+        raw = reader.read1()
         if not raw:
-            raise AigError("truncated binary AIGER delta")
+            raise AigerParseError("truncated binary AIGER delta",
+                                  offset=reader.offset)
         byte = raw[0]
         value |= (byte & 0x7F) << shift
         if not byte & 0x80:
@@ -93,44 +107,60 @@ def read_aig_binary(source: Union[str, bytes, BinaryIO],
             return read_aig_binary(handle, name)
     if isinstance(source, bytes):
         return read_aig_binary(io.BytesIO(source), name)
-    handle = source
-    header = _read_line(handle).split()
+    reader = _ByteReader(source)
+    header = _read_line(reader).split()
     if len(header) < 6 or header[0] != "aig":
-        raise AigError(f"not a binary AIGER header: {header}")
-    max_var, num_in, num_latch, num_out, num_and = (int(x)
-                                                    for x in header[1:6])
+        raise AigerParseError(f"not a binary AIGER header: {header}",
+                              offset=0)
+    max_var, num_in, num_latch, num_out, num_and = (
+        _to_int(x, "header field", reader) for x in header[1:6])
+    if min(max_var, num_in, num_latch, num_out, num_and) < 0:
+        raise AigerParseError("negative count in binary AIGER header",
+                              offset=0)
     if num_latch:
-        raise AigError("sequential binary AIGER files are not supported")
+        raise AigerParseError(
+            "sequential binary AIGER files are not supported", offset=0)
     if max_var != num_in + num_and:
-        raise AigError("inconsistent binary AIGER header")
+        raise AigerParseError(
+            f"inconsistent binary AIGER header: max_var {max_var} != "
+            f"inputs {num_in} + ands {num_and}", offset=0)
     aig = Aig(name)
+    max_lit = 2 * max_var + 1
     literal_of: List[int] = [0]  # file variable -> our literal
     for literal in aig.add_pis(num_in):
         literal_of.append(literal)
-    out_lits = [int(_read_line(handle)) for _ in range(num_out)]
+    out_lits = []
+    for _ in range(num_out):
+        value = _to_int(_read_line(reader), "output literal", reader)
+        if value < 0 or value > max_lit:
+            raise AigerParseError(
+                f"output literal {value} outside the header's range "
+                f"0..{max_lit}", offset=reader.offset)
+        out_lits.append(value)
     for k in range(num_and):
         lhs = 2 * (num_in + 1 + k)
-        delta0 = _decode_delta(handle)
-        delta1 = _decode_delta(handle)
+        delta0 = _decode_delta(reader)
+        delta1 = _decode_delta(reader)
         rhs0 = lhs - delta0
         rhs1 = rhs0 - delta1
         if rhs0 < 0 or rhs1 < 0 or rhs0 >= lhs:
-            raise AigError(f"invalid AND deltas at index {k}")
+            raise AigerParseError(f"invalid AND deltas at index {k}",
+                                  offset=reader.offset)
         a = lit_notcond(literal_of[rhs0 >> 1], bool(rhs0 & 1))
         b = lit_notcond(literal_of[rhs1 >> 1], bool(rhs1 & 1))
         literal_of.append(aig.add_and(a, b))
     po_names = {}
     pi_names = {}
     while True:
-        line = _read_line(handle, allow_eof=True)
+        line = _read_line(reader, allow_eof=True)
         if line is None or line == "c":
             break
         if line.startswith("i"):
             idx, _sep, symbol = line[1:].partition(" ")
-            pi_names[int(idx)] = symbol
+            pi_names[_symbol_index(idx, num_in, "input", reader)] = symbol
         elif line.startswith("o"):
             idx, _sep, symbol = line[1:].partition(" ")
-            po_names[int(idx)] = symbol
+            po_names[_symbol_index(idx, num_out, "output", reader)] = symbol
     for i, file_lit in enumerate(out_lits):
         literal = lit_notcond(literal_of[file_lit >> 1], bool(file_lit & 1))
         aig.add_po(literal, po_names.get(i))
@@ -139,14 +169,34 @@ def read_aig_binary(source: Union[str, bytes, BinaryIO],
     return aig
 
 
-def _read_line(handle: BinaryIO, allow_eof: bool = False):
+def _to_int(token: str, what: str, reader: _ByteReader) -> int:
+    try:
+        return int(token)
+    except (ValueError, TypeError):
+        raise AigerParseError(f"{what} is not an integer: {token!r}",
+                              offset=reader.offset) from None
+
+
+def _symbol_index(token: str, count: int, what: str,
+                  reader: _ByteReader) -> int:
+    index = _to_int(token, f"{what} symbol index", reader)
+    if index < 0 or index >= count:
+        raise AigerParseError(
+            f"{what} symbol index {index} out of range (have {count})",
+            offset=reader.offset)
+    return index
+
+
+def _read_line(reader: _ByteReader, allow_eof: bool = False):
     out = bytearray()
     while True:
-        raw = handle.read(1)
+        raw = reader.read1()
         if not raw:
             if allow_eof:
-                return out.decode("ascii").rstrip() if out else None
-            raise AigError("unexpected end of binary AIGER file")
+                return out.decode("ascii", "replace").rstrip() if out \
+                    else None
+            raise AigerParseError("unexpected end of binary AIGER file",
+                                  offset=reader.offset)
         if raw == b"\n":
-            return out.decode("ascii").rstrip()
+            return out.decode("ascii", "replace").rstrip()
         out.extend(raw)

@@ -192,6 +192,10 @@ class ResultCache:
         self.misses = 0
         self.corrupt = 0
         self.stores = 0
+        #: commits refused by the filesystem (disk full, permissions);
+        #: each one degrades to an uncacheable write, never an exception
+        self.store_failures = 0
+        self._store_warned = False
 
     def path(self, key: str) -> str:
         """Absolute path of *key*'s entry file (existing or not)."""
@@ -263,8 +267,25 @@ class ResultCache:
             "nodes_after": network.num_ands,
         }
         path = self.path(key)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        atomic_write_text(path, json.dumps(document, sort_keys=True) + "\n")
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            atomic_write_text(path,
+                              json.dumps(document, sort_keys=True) + "\n")
+        except OSError as exc:
+            # A full disk or revoked permission must not sink a campaign
+            # mid-run: the flow result is already computed, the entry just
+            # stays cold.  Warn once per cache, count every refusal.
+            self.store_failures += 1
+            from repro import obs
+            obs.metrics().inc("campaign.cache.store_failures")
+            if not self._store_warned:
+                self._store_warned = True
+                import warnings
+                warnings.warn(
+                    f"result cache at {self.root} is not writable "
+                    f"({type(exc).__name__}: {exc}); continuing uncached",
+                    RuntimeWarning, stacklevel=2)
+            return
         self.stores += 1
 
     def __len__(self) -> int:

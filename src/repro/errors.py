@@ -9,6 +9,29 @@ class AigError(ReproError):
     """Raised on structural misuse of an :class:`repro.aig.Aig`."""
 
 
+class AigerParseError(AigError):
+    """Malformed AIGER input (ASCII ``.aag`` or binary ``.aig``).
+
+    Carries the location of the defect: ``line`` (1-based) for the ASCII
+    reader and the text parts of the binary format, ``offset`` (0-based
+    byte position) for the binary delta stream.  Subclasses
+    :class:`AigError` so existing ``except AigError`` call sites keep
+    catching malformed files; fuzzed inputs must never surface a bare
+    ``ValueError``/``IndexError`` or silently misparse.
+    """
+
+    def __init__(self, message: str, line=None, offset=None):
+        where = []
+        if line is not None:
+            where.append(f"line {line}")
+        if offset is not None:
+            where.append(f"byte offset {offset}")
+        super().__init__(f"{message} ({', '.join(where)})" if where
+                         else message)
+        self.line = line
+        self.offset = offset
+
+
 class BddLimitError(ReproError):
     """Raised when a BDD operation exceeds the manager's node/memory limit.
 

@@ -1,0 +1,314 @@
+"""Seeded, deterministic random-network generators for the fuzzer.
+
+A fuzz case *is* its :class:`CaseRecipe` — ``(generator, seed, params)``
+— and :func:`build_case` is a pure function of the recipe: the same
+recipe rebuilds the same network on any machine in any process (all
+randomness flows through one ``random.Random(seed)``, never through
+``hash()`` or set iteration).  That property is what makes repro bundles
+self-contained and fuzz runs byte-comparable across machines.
+
+Three generator families:
+
+* ``random-aig`` — random AND graphs under a depth/fanin profile
+  (``deep`` chains recent nodes, ``wide`` stays near the PIs, ``mixed``
+  picks uniformly), exercising shapes the EPFL suite never takes;
+* ``random-sop`` — random sum-of-products networks (OR of random
+  cubes), the adversarial-SOP shape for the kerneling engine;
+* ``epfl-mutant`` — structural mutators over the EPFL registry designs:
+  cone duplication, input merging, constant injection, and inverter
+  churn, applied to the byte-stable CompactAig form so mutations stay
+  acyclic by construction (a rewritten fanin can only point at an
+  earlier node).
+
+Mutants deliberately change function — the oracle compares the flow's
+*input* against its *output*, so any well-formed network is a valid
+case.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Tuple
+
+from repro.aig.aig import Aig
+from repro.parallel.window_io import CompactAig
+
+#: Small EPFL designs used as mutation stock — kept under ~250 nodes so a
+#: fuzz case's flow runs stay sub-second and CI budgets stay meaningful.
+MUTATION_BENCHMARKS = ("router", "priority", "arbiter", "adder", "bar")
+
+PROFILES = ("deep", "wide", "mixed")
+
+MUTATION_OPS = ("cone-dup", "input-merge", "const-inject", "inverter-churn")
+
+
+@dataclass(frozen=True)
+class CaseRecipe:
+    """The complete, replayable identity of one fuzz case."""
+
+    generator: str
+    seed: int
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"generator": self.generator, "seed": self.seed,
+                "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CaseRecipe":
+        return cls(generator=str(data["generator"]), seed=int(data["seed"]),
+                   params=dict(data.get("params", {})))
+
+    def canonical(self) -> str:
+        """Canonical JSON of the recipe — the byte-comparable form."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @property
+    def case_id(self) -> str:
+        """Short content id of the recipe (stable across processes)."""
+        digest = hashlib.sha256(self.canonical().encode("utf-8"))
+        return digest.hexdigest()[:12]
+
+
+def build_case(recipe: CaseRecipe) -> Aig:
+    """The network described by *recipe*; pure function of the recipe."""
+    try:
+        generator = _GENERATORS[recipe.generator]
+    except KeyError:
+        raise ValueError(f"unknown fuzz generator {recipe.generator!r} "
+                         f"(expected one of {sorted(_GENERATORS)})") from None
+    rng = random.Random(recipe.seed)
+    aig = generator(rng, dict(recipe.params))
+    aig.name = f"fuzz-{recipe.case_id}"
+    return aig.cleanup()
+
+
+# -- random AIGs ---------------------------------------------------------------
+
+def _gen_random_aig(rng: random.Random, params: Dict[str, Any]) -> Aig:
+    num_pis = int(params.get("num_pis", 8))
+    num_gates = int(params.get("num_gates", 40))
+    num_pos = int(params.get("num_pos", 4))
+    profile = str(params.get("profile", "mixed"))
+    if profile not in PROFILES:
+        raise ValueError(f"unknown random-aig profile {profile!r}")
+    aig = Aig("fuzz-rand")
+    lits: List[int] = list(aig.add_pis(num_pis, "x"))
+    for _ in range(num_gates):
+        if profile == "deep" and len(lits) > num_pis:
+            # Chain off the most recent nodes: long reconvergent spines.
+            tail = lits[-min(6, len(lits)):]
+            a = tail[rng.randrange(len(tail))]
+            b = lits[rng.randrange(len(lits))]
+        elif profile == "wide":
+            # Stay shallow: broad fanin off the PIs and early gates.
+            head = lits[:max(num_pis, len(lits) // 3)]
+            a = head[rng.randrange(len(head))]
+            b = head[rng.randrange(len(head))]
+        else:
+            a = lits[rng.randrange(len(lits))]
+            b = lits[rng.randrange(len(lits))]
+        a ^= rng.getrandbits(1)
+        b ^= rng.getrandbits(1)
+        # Strashing may return an existing literal; the duplicate entry
+        # simply raises that node's chance of being reused downstream.
+        lits.append(aig.add_and(a, b))
+    pool = lits[num_pis:] or lits
+    for i in range(max(1, num_pos)):
+        po = pool[rng.randrange(len(pool))] ^ rng.getrandbits(1)
+        aig.add_po(po, f"f{i}")
+    return aig
+
+
+# -- random SOP networks -------------------------------------------------------
+
+def _gen_random_sop(rng: random.Random, params: Dict[str, Any]) -> Aig:
+    num_vars = int(params.get("num_vars", 8))
+    num_outputs = int(params.get("num_outputs", 3))
+    num_cubes = int(params.get("num_cubes", 6))
+    cube_width = int(params.get("cube_width", 3))
+    aig = Aig("fuzz-sop")
+    pis = list(aig.add_pis(num_vars, "x"))
+    for out in range(max(1, num_outputs)):
+        cube_lits: List[int] = []
+        for _ in range(max(1, num_cubes)):
+            width = min(max(1, cube_width), num_vars)
+            variables = rng.sample(range(num_vars), width)
+            cube = 1  # constant TRUE
+            for var in variables:
+                cube = aig.add_and(cube, pis[var] ^ rng.getrandbits(1))
+            cube_lits.append(cube)
+        total = 0  # constant FALSE
+        for cube in cube_lits:
+            total = aig.add_or(total, cube)
+        aig.add_po(total, f"f{out}")
+    return aig
+
+
+# -- EPFL structural mutants ---------------------------------------------------
+
+def _gen_epfl_mutant(rng: random.Random, params: Dict[str, Any]) -> Aig:
+    benchmark = str(params.get("benchmark", "router"))
+    num_ops = int(params.get("num_ops", 4))
+    from repro.bench.registry import get_benchmark
+    compact = CompactAig.from_aig(get_benchmark(benchmark, scaled=True))
+    for _ in range(max(1, num_ops)):
+        op = MUTATION_OPS[rng.randrange(len(MUTATION_OPS))]
+        compact = _MUTATORS[op](rng, compact)
+    return compact.to_aig()
+
+
+def _mutate_inverter_churn(rng: random.Random,
+                           compact: CompactAig) -> CompactAig:
+    """Flip the complement bit of a few random gate fanins."""
+    gates = [list(gate) for gate in compact.gates]
+    if not gates:
+        return compact
+    for _ in range(min(8, max(1, len(gates) // 16))):
+        gate = gates[rng.randrange(len(gates))]
+        side = rng.getrandbits(1)
+        gate[side] ^= 1
+    return CompactAig(num_pis=compact.num_pis,
+                      gates=[(g[0], g[1]) for g in gates],
+                      outputs=list(compact.outputs), name=compact.name)
+
+
+def _mutate_const_inject(rng: random.Random,
+                         compact: CompactAig) -> CompactAig:
+    """Tie one random gate fanin to constant FALSE or TRUE."""
+    gates = [list(gate) for gate in compact.gates]
+    if not gates:
+        return compact
+    gate = gates[rng.randrange(len(gates))]
+    gate[rng.getrandbits(1)] = rng.getrandbits(1)  # literal 0 or 1
+    return CompactAig(num_pis=compact.num_pis,
+                      gates=[(g[0], g[1]) for g in gates],
+                      outputs=list(compact.outputs), name=compact.name)
+
+
+def _mutate_input_merge(rng: random.Random,
+                        compact: CompactAig) -> CompactAig:
+    """Alias one PI onto another (the aliased PI dangles afterwards)."""
+    if compact.num_pis < 2:
+        return compact
+    keep = 1 + rng.randrange(compact.num_pis)
+    drop = 1 + rng.randrange(compact.num_pis)
+    if keep == drop:
+        return compact
+
+    def remap(lit: int) -> int:
+        return 2 * keep + (lit & 1) if lit >> 1 == drop else lit
+
+    gates = [(remap(a), remap(b)) for a, b in compact.gates]
+    outputs = [remap(out) for out in compact.outputs]
+    return CompactAig(num_pis=compact.num_pis, gates=gates, outputs=outputs,
+                      name=compact.name)
+
+
+def _mutate_cone_dup(rng: random.Random, compact: CompactAig,
+                     max_cone: int = 24) -> CompactAig:
+    """Duplicate one gate's fanin cone (bounded), churn one literal in the
+    copy, and expose the copy's root as an extra output."""
+    if not compact.gates:
+        return compact
+    first_gate = compact.num_pis + 1
+    root = first_gate + rng.randrange(len(compact.gates))
+    # Collect the bounded cone above *root* (gates only, reverse-id order
+    # guarantees fanins are visited after their fanouts).
+    cone: List[int] = []
+    frontier = [root]
+    seen = {root}
+    while frontier and len(cone) < max_cone:
+        node = max(frontier)
+        frontier.remove(node)
+        cone.append(node)
+        a, b = compact.gates[node - first_gate]
+        for lit in (a, b):
+            fanin = lit >> 1
+            if fanin >= first_gate and fanin not in seen:
+                seen.add(fanin)
+                frontier.append(fanin)
+    cone.sort()
+    gates = [tuple(gate) for gate in compact.gates]
+    clone: Dict[int, int] = {}
+    for node in cone:
+        a, b = compact.gates[node - first_gate]
+
+        def remap(lit: int) -> int:
+            fanin = lit >> 1
+            if fanin in clone:
+                return 2 * clone[fanin] + (lit & 1)
+            return lit
+
+        gates.append((remap(a), remap(b)))
+        clone[node] = first_gate + len(gates) - 1
+    # Perturb one literal of the copy so it is not a strash-identical twin.
+    idx = len(gates) - 1 - rng.randrange(len(cone))
+    a, b = gates[idx]
+    gates[idx] = (a ^ 1, b) if rng.getrandbits(1) else (a, b ^ 1)
+    outputs = list(compact.outputs)
+    outputs.append(2 * clone[root] + rng.getrandbits(1))
+    return CompactAig(num_pis=compact.num_pis,
+                      gates=[(g[0], g[1]) for g in gates],
+                      outputs=outputs, name=compact.name)
+
+
+_MUTATORS: Dict[str, Callable[[random.Random, CompactAig], CompactAig]] = {
+    "cone-dup": _mutate_cone_dup,
+    "input-merge": _mutate_input_merge,
+    "const-inject": _mutate_const_inject,
+    "inverter-churn": _mutate_inverter_churn,
+}
+
+_GENERATORS: Dict[str, Callable[[random.Random, Dict[str, Any]], Aig]] = {
+    "random-aig": _gen_random_aig,
+    "random-sop": _gen_random_sop,
+    "epfl-mutant": _gen_epfl_mutant,
+}
+
+GENERATOR_NAMES: Tuple[str, ...] = tuple(sorted(_GENERATORS))
+
+
+def iter_recipes(seed: int, budget: int,
+                 generators: Tuple[str, ...] = GENERATOR_NAMES,
+                 benchmarks: Tuple[str, ...] = MUTATION_BENCHMARKS,
+                 max_gates: int = 60) -> Iterator[CaseRecipe]:
+    """Yield *budget* recipes drawn deterministically from *seed*.
+
+    One master ``Random(seed)`` draws every generator choice, parameter,
+    and per-case seed, so the full recipe sequence is a pure function of
+    ``(seed, budget, generators, benchmarks, max_gates)`` — run it twice
+    and the recipes compare byte-identical.
+    """
+    for name in generators:
+        if name not in _GENERATORS:
+            raise ValueError(f"unknown fuzz generator {name!r}")
+    master = random.Random(seed)
+    for _ in range(budget):
+        generator = generators[master.randrange(len(generators))]
+        case_seed = master.getrandbits(32)
+        params: Dict[str, Any]
+        if generator == "random-aig":
+            params = {
+                "num_pis": 4 + master.randrange(10),
+                "num_gates": 10 + master.randrange(max(1, max_gates - 10)),
+                "num_pos": 1 + master.randrange(5),
+                "profile": PROFILES[master.randrange(len(PROFILES))],
+            }
+        elif generator == "random-sop":
+            params = {
+                "num_vars": 4 + master.randrange(8),
+                "num_outputs": 1 + master.randrange(4),
+                "num_cubes": 2 + master.randrange(7),
+                "cube_width": 2 + master.randrange(4),
+            }
+        else:  # epfl-mutant
+            params = {
+                "benchmark": benchmarks[master.randrange(len(benchmarks))],
+                "num_ops": 1 + master.randrange(6),
+            }
+        yield CaseRecipe(generator=generator, seed=case_seed, params=params)

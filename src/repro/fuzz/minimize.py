@@ -1,0 +1,230 @@
+"""Deterministic delta-debugging over AIGs: shrink, keep the failure.
+
+Classic ddmin works on flat token lists; an AIG's tokens are gates with
+dependency structure, so the reducer works on the byte-stable
+:class:`CompactAig` form where every transformation is *acyclic by
+construction* — a gate can only ever be replaced by something built
+strictly earlier in the topological order:
+
+* **chunk projection** — replace a contiguous run of gates by their
+  first fanins (binary-search chunk sizes, largest first, the ddmin
+  part);
+* **output dropping** — try single surviving outputs, then halves;
+* **constant grounding** — replace one remaining gate by FALSE;
+* **PI dropping** — rebuild without PIs nothing references (shrinks the
+  CEC input space, which speeds the predicate up as the network gets
+  smaller).
+
+The reducer is greedy to a fixpoint under a predicate-evaluation budget
+and entirely deterministic: fixed pass order, no randomness, and every
+candidate is re-canonicalized through ``to_aig()``/``from_aig()`` so
+strash-level simplification is part of the shrink.  The predicate is
+arbitrary ("the same oracle rung still fails", usually) but must be a
+pure function of the network.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional
+
+from repro.aig.aig import Aig
+from repro.parallel.window_io import CompactAig
+
+Predicate = Callable[[Aig], bool]
+
+
+@dataclasses.dataclass
+class MinimizeResult:
+    """Outcome of one reduction: the smaller network plus bookkeeping."""
+
+    network: Aig
+    nodes_before: int
+    nodes_after: int
+    evals: int          #: predicate evaluations spent
+    rounds: int         #: full fixpoint rounds completed
+
+    @property
+    def ratio(self) -> float:
+        """Final size as a fraction of the original (0 when already empty)."""
+        if self.nodes_before == 0:
+            return 0.0
+        return self.nodes_after / self.nodes_before
+
+
+class _Budget:
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.spent = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.spent >= self.limit
+
+
+def _normalize(compact: CompactAig) -> CompactAig:
+    """Round-trip through ``Aig`` so strashing/cleanup take effect."""
+    return CompactAig.from_aig(compact.to_aig().cleanup())
+
+
+def _rebuild(compact: CompactAig,
+             replace: Dict[int, int],
+             keep_outputs: Optional[List[int]] = None) -> CompactAig:
+    """Rebuild *compact* with local node -> literal substitutions applied.
+
+    ``replace`` maps a local gate id to the literal (in local numbering)
+    that takes its place; the referenced node is always strictly earlier,
+    so resolution is a single forward pass.
+    """
+    aig = Aig(compact.name)
+    lits: List[int] = [0]
+    lits.extend(aig.add_pis(compact.num_pis, "w"))
+    first_gate = compact.num_pis + 1
+    for index, (f0, f1) in enumerate(compact.gates):
+        node = first_gate + index
+        if node in replace:
+            local = replace[node]
+            lits.append(lits[local >> 1] ^ (local & 1))
+            continue
+        a = lits[f0 >> 1] ^ (f0 & 1)
+        b = lits[f1 >> 1] ^ (f1 & 1)
+        lits.append(aig.add_and(a, b))
+    outputs = compact.outputs if keep_outputs is None \
+        else [compact.outputs[i] for i in keep_outputs]
+    for i, out in enumerate(outputs):
+        aig.add_po(lits[out >> 1] ^ (out & 1), f"r{i}")
+    return CompactAig.from_aig(aig.cleanup())
+
+
+def _drop_unused_pis(compact: CompactAig) -> CompactAig:
+    """Renumber away PIs no gate or output references."""
+    used = set()
+    for f0, f1 in compact.gates:
+        used.add(f0 >> 1)
+        used.add(f1 >> 1)
+    for out in compact.outputs:
+        used.add(out >> 1)
+    keep = [pi for pi in range(1, compact.num_pis + 1) if pi in used]
+    if len(keep) == compact.num_pis:
+        return compact
+    remap = {0: 0}
+    for new, old in enumerate(keep):
+        remap[old] = new + 1
+    first_gate = compact.num_pis + 1
+    new_first = len(keep) + 1
+    for index in range(len(compact.gates)):
+        remap[first_gate + index] = new_first + index
+
+    def lit(old: int) -> int:
+        return 2 * remap[old >> 1] + (old & 1)
+
+    return CompactAig(num_pis=len(keep),
+                      gates=[(lit(a), lit(b)) for a, b in compact.gates],
+                      outputs=[lit(out) for out in compact.outputs],
+                      name=compact.name)
+
+
+def _try(candidate: CompactAig, current: CompactAig, predicate: Predicate,
+         budget: _Budget) -> Optional[CompactAig]:
+    """*candidate* normalized, if it shrinks and still fails; else None."""
+    candidate = _normalize(candidate)
+    if candidate.num_ands >= current.num_ands \
+            and candidate.num_pis >= current.num_pis \
+            and len(candidate.outputs) >= len(current.outputs):
+        return None
+    budget.spent += 1
+    if predicate(candidate.to_aig()):
+        return candidate
+    return None
+
+
+def _pass_chunks(current: CompactAig, predicate: Predicate,
+                 budget: _Budget) -> CompactAig:
+    """Project chunks of gates onto their first fanins, ddmin-style."""
+    first_gate = current.num_pis + 1
+    size = max(1, len(current.gates) // 2)
+    while size >= 1 and not budget.exhausted:
+        start = 0
+        while start < len(current.gates) and not budget.exhausted:
+            chunk = range(start, min(start + size, len(current.gates)))
+            replace = {first_gate + i: current.gates[i][0] for i in chunk}
+            kept = _try(_rebuild(current, replace), current, predicate,
+                        budget)
+            if kept is not None:
+                current = kept
+                first_gate = current.num_pis + 1
+                # The gate list shrank and renumbered: restart this size.
+                start = 0
+            else:
+                start += size
+        size //= 2
+    return current
+
+
+def _pass_outputs(current: CompactAig, predicate: Predicate,
+                  budget: _Budget) -> CompactAig:
+    """Try single surviving outputs, then the first/second halves."""
+    count = len(current.outputs)
+    if count <= 1:
+        return current
+    candidates: List[List[int]] = [[i] for i in range(count)]
+    candidates.append(list(range(count // 2)))
+    candidates.append(list(range(count // 2, count)))
+    for keep in candidates:
+        if budget.exhausted or len(keep) >= len(current.outputs):
+            continue
+        kept = _try(_rebuild(current, {}, keep_outputs=keep), current,
+                    predicate, budget)
+        if kept is not None:
+            return kept
+    return current
+
+
+def _pass_constants(current: CompactAig, predicate: Predicate,
+                    budget: _Budget) -> CompactAig:
+    """Ground individual gates to constant FALSE, last gate first."""
+    index = len(current.gates) - 1
+    while index >= 0 and not budget.exhausted:
+        first_gate = current.num_pis + 1
+        kept = _try(_rebuild(current, {first_gate + index: 0}), current,
+                    predicate, budget)
+        if kept is not None:
+            current = kept
+            index = min(index, len(current.gates)) - 1
+        else:
+            index -= 1
+    return current
+
+
+def minimize(aig: Aig, predicate: Predicate,
+             max_evals: int = 200) -> MinimizeResult:
+    """Shrink *aig* to a local minimum while *predicate* keeps holding.
+
+    Raises ``ValueError`` when the predicate does not hold on the input —
+    a reducer run on a passing network would "minimize" to noise.
+    """
+    current = _normalize(CompactAig.from_aig(aig))
+    if not predicate(current.to_aig()):
+        raise ValueError("minimize: predicate does not hold on the input "
+                         "network")
+    nodes_before = current.num_ands
+    budget = _Budget(max_evals)
+    rounds = 0
+    while not budget.exhausted:
+        before = (current.num_ands, current.num_pis, len(current.outputs))
+        current = _pass_outputs(current, predicate, budget)
+        current = _pass_chunks(current, predicate, budget)
+        current = _pass_constants(current, predicate, budget)
+        dropped = _drop_unused_pis(current)
+        if dropped.num_pis < current.num_pis and not budget.exhausted:
+            budget.spent += 1
+            if predicate(dropped.to_aig()):
+                current = dropped
+        rounds += 1
+        if (current.num_ands, current.num_pis,
+                len(current.outputs)) == before:
+            break
+    return MinimizeResult(network=current.to_aig(),
+                          nodes_before=nodes_before,
+                          nodes_after=current.num_ands,
+                          evals=budget.spent, rounds=rounds)

@@ -73,3 +73,46 @@ def test_rejects_sequential():
 def test_rejects_garbage_header():
     with pytest.raises(AigError):
         read_aag(io.StringIO("not an aiger file\n"))
+
+
+class TestMalformedAscii:
+    """Every malformed input raises AigerParseError naming its line."""
+
+    CASES = {
+        "non_integer_header": "aag x 1 0 1 1\n",
+        "negative_count": "aag 1 -1 0 0 0\n",
+        "sequential": "aag 1 0 1 0 0\n",
+        "truncated_inputs": "aag 1 1 0 0 0\n",
+        "blank_where_input": "aag 1 1 0 0 0\n\n",
+        "complemented_input": "aag 1 1 0 0 0\n3\n",
+        "duplicate_input": "aag 2 2 0 0 0\n2\n2\n",
+        "input_out_of_range": "aag 1 1 0 0 0\n9\n",
+        "and_arity": "aag 2 1 0 0 1\n2\n4 2\n",
+        "complemented_and_lhs": "aag 2 1 0 0 1\n2\n5 2 2\n",
+        "and_redefines_input": "aag 2 1 0 0 1\n2\n2 0 0\n",
+        "output_use_before_def": "aag 2 1 0 1 0\n2\n4\n",
+        "symbol_index_range": "aag 1 1 0 1 0\n2\n2\ni5 foo\n",
+    }
+
+    @pytest.mark.parametrize("label", sorted(CASES))
+    def test_rejected_with_location(self, label):
+        from repro.errors import AigerParseError
+        with pytest.raises(AigerParseError) as info:
+            read_aag(self.CASES[label])
+        assert isinstance(info.value, AigError)
+
+    def test_error_names_the_line(self):
+        from repro.errors import AigerParseError
+        with pytest.raises(AigerParseError) as info:
+            read_aag("aag 2 1 0 1 1\n2\n4\n4 9 9\n")
+        assert info.value.line == 4
+        assert "line 4" in str(info.value)
+
+    def test_never_leaks_bare_value_error(self):
+        # A malformed file must raise AigerParseError, never ValueError
+        # or IndexError from the parsing internals.
+        for text in self.CASES.values():
+            try:
+                read_aag(text)
+            except AigError:
+                pass

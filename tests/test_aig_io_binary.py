@@ -101,3 +101,39 @@ def test_rejects_truncation():
         header_end = data.index(b"\n", header_end) + 1
     with pytest.raises(AigError):
         read_aig_binary(data[: header_end + 3])
+
+
+class TestMalformedBinary:
+    """Malformed binary inputs raise AigerParseError with a byte offset."""
+
+    CASES = {
+        "non_integer_header": b"aig x 1 0 0 0\n",
+        "negative_count": b"aig 1 -1 0 0 0\n",
+        "sequential": b"aig 1 0 1 0 0\n",
+        "inconsistent_max_var": b"aig 5 1 0 0 1\n",
+        "output_out_of_range": b"aig 1 1 0 1 0\n9\n",
+        "negative_and_delta": b"aig 2 1 0 0 1\n\x05\x00",
+        "truncated_delta": b"aig 2 1 0 0 1\n\x82",
+        "symbol_index_range": b"aig 1 1 0 0 0\ni7 x\n",
+    }
+
+    @pytest.mark.parametrize("label", sorted(CASES))
+    def test_rejected(self, label):
+        from repro.errors import AigerParseError
+        with pytest.raises(AigerParseError) as info:
+            read_aig_binary(self.CASES[label])
+        assert isinstance(info.value, AigError)
+
+    def test_truncated_delta_names_the_offset(self):
+        from repro.errors import AigerParseError
+        with pytest.raises(AigerParseError) as info:
+            read_aig_binary(b"aig 2 1 0 0 1\n\x82")
+        assert info.value.offset is not None
+        assert "byte offset" in str(info.value)
+
+    def test_never_leaks_bare_value_error(self):
+        for data in self.CASES.values():
+            try:
+                read_aig_binary(data)
+            except AigError:
+                pass

@@ -190,6 +190,42 @@ class TestResultCache:
             handle.write(raw)
         assert cache.lookup(other) is None
 
+    def test_store_failure_degrades_to_uncacheable(self, tmp_path,
+                                                   monkeypatch):
+        # A full disk (or revoked permission) mid-campaign must not sink
+        # the run: the result stays usable, the entry stays cold, every
+        # refusal is counted, and exactly one warning is emitted.
+        import warnings
+        from repro.campaign import cache as cache_mod
+        cache = ResultCache(str(tmp_path / "cache"))
+        aig = make_random_aig(6, 60, seed=11)
+
+        def full_disk(path, text):
+            raise OSError(28, "No space left on device")
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with monkeypatch.context() as patched:
+                patched.setattr(cache_mod, "atomic_write_text", full_disk)
+                result, _stats, hit, key = cached_sbm_flow(
+                    aig, FlowConfig(iterations=1), cache)
+                _r2, _s2, hit2, _k2 = cached_sbm_flow(
+                    aig, FlowConfig(iterations=1), cache)
+        assert not hit and not hit2
+        assert result.num_ands > 0              # the flow result survived
+        assert cache.store_failures == 2
+        assert cache.stores == 0
+        assert cache.lookup(key) is None        # nothing half-written
+        warned = [w for w in caught
+                  if issubclass(w.category, RuntimeWarning)]
+        assert len(warned) == 1                 # once per cache, not per job
+        assert "continuing uncached" in str(warned[0].message)
+        # The filesystem recovers: the very next store commits normally.
+        _r3, _s3, hit3, _k3 = cached_sbm_flow(
+            aig, FlowConfig(iterations=1), cache)
+        assert not hit3 and cache.stores == 1
+        assert cache.lookup(key) is not None
+
     def test_stale_code_version_is_a_miss(self, tmp_path, monkeypatch):
         from repro import hotpath
         cache, _aig, _cold, key = self._store_one(tmp_path)

@@ -63,7 +63,8 @@ class TestDegenerateNetworks:
 class TestFailureInjection:
     def test_corrupt_aag_rejected(self):
         from repro.aig.io_aiger import read_aag
-        with pytest.raises((AigError, ValueError, IndexError)):
+        from repro.errors import AigerParseError
+        with pytest.raises(AigerParseError):
             read_aag("aag 2 1 0 1 1\n2\n4\n4 9 9\n")  # literal past maxvar
 
     def test_sat_zero_literal(self):
@@ -114,3 +115,135 @@ class TestErrorHierarchy:
         from repro.errors import BenchmarkError
         for exc in (AigError, BddLimitError, SatError, BenchmarkError):
             assert issubclass(exc, ReproError)
+
+    def test_aiger_parse_error_is_aig_error(self):
+        from repro.errors import AigerParseError
+        assert issubclass(AigerParseError, AigError)
+        exc = AigerParseError("bad", line=3)
+        assert exc.line == 3 and "line 3" in str(exc)
+        exc = AigerParseError("bad", offset=17)
+        assert exc.offset == 17 and "byte offset 17" in str(exc)
+
+
+# -- hypothesis property tests -------------------------------------------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+
+def _random_aig_spec(max_pis=6, max_nodes=40):
+    return st.tuples(
+        st.integers(min_value=1, max_value=max_pis),
+        st.integers(min_value=0, max_value=max_nodes),
+        st.randoms(use_true_random=False),
+    )
+
+
+def _build_random(num_pis, num_nodes, rng):
+    aig = Aig()
+    literals = list(aig.add_pis(num_pis))
+    for _ in range(num_nodes):
+        a = rng.choice(literals) ^ rng.getrandbits(1)
+        b = rng.choice(literals) ^ rng.getrandbits(1)
+        literals.append(aig.add_and(a, b))
+    for literal in literals[-3:]:
+        aig.add_po(literal ^ rng.getrandbits(1))
+    return aig.cleanup()
+
+
+class TestCompactAigRoundTrip:
+    """CompactAig JSON round-trips are lossless and byte-stable."""
+
+    @given(_random_aig_spec())
+    @settings(max_examples=40, deadline=None)
+    def test_json_round_trip(self, spec):
+        import json
+        from repro.parallel.window_io import CompactAig
+        num_pis, num_nodes, rng = spec
+        aig = _build_random(num_pis, num_nodes, rng)
+        compact = CompactAig.from_aig(aig)
+        payload = json.dumps({"num_pis": compact.num_pis,
+                              "gates": [list(g) for g in compact.gates],
+                              "outputs": compact.outputs})
+        data = json.loads(payload)
+        rebuilt = CompactAig(num_pis=data["num_pis"],
+                             gates=[tuple(g) for g in data["gates"]],
+                             outputs=data["outputs"])
+        from repro.aig.simulate import po_tables
+        back = rebuilt.to_aig()
+        assert po_tables(back) == po_tables(aig)
+        # encode(decode(encode(x))) == encode(x): the byte-stable contract
+        again = CompactAig.from_aig(back)
+        assert again.gates == compact.gates
+        assert again.outputs == compact.outputs
+        assert again.num_pis == compact.num_pis
+
+    @given(_random_aig_spec())
+    @settings(max_examples=20, deadline=None)
+    def test_round_trip_preserves_counts(self, spec):
+        from repro.parallel.window_io import CompactAig
+        num_pis, num_nodes, rng = spec
+        aig = _build_random(num_pis, num_nodes, rng)
+        back = CompactAig.from_aig(aig).to_aig()
+        assert back.num_pis == aig.num_pis
+        assert back.num_pos == aig.num_pos
+        assert back.num_ands == aig.num_ands
+
+
+class TestFlowOnDegenerateNetworks:
+    """The full flow survives interface-degenerate inputs unchanged in
+    function: zero POs, constant outputs, dangling nodes, identities."""
+
+    def _flow(self, aig):
+        from repro.sbm.config import FlowConfig
+        from repro.sbm.flow import sbm_flow
+        optimized, _stats = sbm_flow(aig, FlowConfig(iterations=1))
+        return optimized
+
+    def test_zero_po_network(self):
+        aig = Aig()
+        a, b = aig.add_pis(2)
+        aig.add_and(a, b)  # dangling gate, no POs at all
+        optimized = self._flow(aig)
+        assert optimized.num_pos == 0
+        assert optimized.num_ands == 0
+
+    def test_const_only_outputs(self):
+        from repro.aig.simulate import po_tables
+        aig = Aig()
+        aig.add_pis(3)
+        aig.add_po(0)
+        aig.add_po(1)
+        optimized = self._flow(aig)
+        assert po_tables(optimized) == po_tables(aig)
+        assert optimized.num_ands == 0
+
+    def test_dangling_nodes_are_swept(self):
+        from repro.aig.simulate import po_tables
+        aig = Aig()
+        a, b, c = aig.add_pis(3)
+        keep = aig.add_and(a, b)
+        aig.add_and(b, c)            # dead: never reaches a PO
+        aig.add_and(aig.add_and(a, c), b)  # dead cone
+        aig.add_po(keep)
+        optimized = self._flow(aig)
+        assert po_tables(optimized) == po_tables(aig.cleanup())
+        assert optimized.num_ands <= 1
+
+    def test_single_input_identity(self):
+        from repro.aig.simulate import po_tables
+        aig = Aig()
+        a = aig.add_pi()
+        aig.add_po(a)
+        aig.add_po(lit_not(a))
+        optimized = self._flow(aig)
+        assert po_tables(optimized) == po_tables(aig)
+        assert optimized.num_ands == 0
+
+    @given(st.randoms(use_true_random=False))
+    @settings(max_examples=8, deadline=None)
+    def test_flow_preserves_function_on_tiny_networks(self, rng):
+        from repro.aig.simulate import po_tables
+        aig = _build_random(1 + rng.randrange(5), rng.randrange(12), rng)
+        optimized = self._flow(aig)
+        assert po_tables(optimized) == po_tables(aig)
