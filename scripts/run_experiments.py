@@ -9,6 +9,7 @@ are written batch-by-batch so partial runs still produce usable rows.
 Usage:  python scripts/run_experiments.py [--fast] [--jobs N]
                                           [--trace] [--report-json PATH]
                                           [--cache-dir DIR] [--no-simresub]
+                                          [--orchestrate K]
                                           [--progress] [--progress-jsonl PATH]
 
 ``--jobs N`` (or ``-j N``) fans the partition-based engines out over N
@@ -23,6 +24,11 @@ checking, and the baseline scripts.
 ``--no-simresub`` disables the simulation-guided resubstitution stage in
 every flow of the sweep (for before/after comparisons of the fifth
 engine; enabled by default).
+
+``--orchestrate K`` replaces every flow's fixed stage waterfall with the
+``repro.orchestrate`` pass-ordering search (K candidate orderings per
+round).  Combine with ``--cache-dir`` so the per-stage memo persists and
+repeat sweeps recompute nothing.
 
 ``--trace`` enables the ``repro.obs`` tracer and writes the span/metrics
 tables to ``results/obs_trace.txt``; ``--report-json PATH`` writes the
@@ -97,8 +103,19 @@ def main() -> None:
     from repro.obs.live import live_session
     from repro.sbm.config import FlowConfig
 
+    orchestrate_k = parse_value(sys.argv, "--orchestrate")
+    orchestrate = None
+    if orchestrate_k is not None:
+        from repro.sbm.config import OrchestrateConfig
+        try:
+            orchestrate = OrchestrateConfig(k=int(orchestrate_k))
+        except ValueError:
+            raise SystemExit(f"--orchestrate expects an integer K, "
+                             f"got {orchestrate_k!r}") from None
+
     flow = FlowConfig(iterations=1, jobs=jobs,
-                      enable_simresub="--no-simresub" not in sys.argv)
+                      enable_simresub="--no-simresub" not in sys.argv,
+                      orchestrate=orchestrate)
     t0 = time.time()
     with cache_context(cache_dir), \
             live_session(progress=progress, jsonl_path=progress_jsonl):

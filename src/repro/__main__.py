@@ -35,6 +35,15 @@ Commands
                          (``--original`` replays the unminimized
                          network); exits 0 only when the exact verdict
                          reproduces
+``orchestrate <names...>``
+                         DAG-aware pass-ordering search
+                         (``repro.orchestrate``): rounds of K candidate
+                         stage sequences with content-addressed per-stage
+                         memoization.  ``--k K`` candidates per round,
+                         ``--rounds R`` rounds, ``--seed S`` the bandit
+                         seed; ``--cache-dir DIR`` backs the stage memo
+                         with the persistent campaign cache so repeat
+                         searches recompute nothing
 
 Options
 -------
@@ -69,6 +78,10 @@ Options
                          the resume-after-interrupt CI check
 ``--no-simresub``        disable the simulation-guided resubstitution
                          stage (the fifth engine; on by default)
+``--orchestrate K``      (optimize / campaign) replace the fixed stage
+                         waterfall with the pass-ordering search, K
+                         candidate orderings per round
+                         (``repro.orchestrate``)
 
 ``optimize`` also accepts a benchmark name from the registry, e.g.
 ``python -m repro optimize router --trace --report-json out.json``.
@@ -197,6 +210,9 @@ class GuardOptions:
         self.tier: Optional[str] = None
         self.simresub: bool = True
         self.history_db: Optional[str] = None
+        #: ``--orchestrate K``: run the pass-ordering search with K
+        #: candidates per round instead of the fixed waterfall
+        self.orchestrate_k: Optional[int] = None
 
 
 def main(argv=None) -> int:
@@ -209,6 +225,7 @@ def main(argv=None) -> int:
     args, tier = _extract_value_flag(args, "--tier")
     args, progress_jsonl = _extract_value_flag(args, "--progress-jsonl")
     args, history_db = _extract_value_flag(args, "--history-db")
+    args, orchestrate_k = _extract_value_flag(args, "--orchestrate")
     progress = "--progress" in args
     args = [a for a in args if a != "--progress"]
     guard_opts.cache_dir = cache_dir
@@ -217,6 +234,14 @@ def main(argv=None) -> int:
     guard_opts.history_db = history_db
     guard_opts.simresub = "--no-simresub" not in args
     args = [a for a in args if a != "--no-simresub"]
+    if orchestrate_k is not None:
+        try:
+            guard_opts.orchestrate_k = int(orchestrate_k)
+        except ValueError:
+            raise SystemExit(f"--orchestrate expects an integer K, "
+                             f"got {orchestrate_k!r}") from None
+        if guard_opts.orchestrate_k < 1:
+            raise SystemExit("--orchestrate K must be >= 1")
     if not args:
         print(__doc__)
         return 1
@@ -280,12 +305,17 @@ def _dispatch(command: str, rest: List[str], jobs: int,
         from repro.guard.chaos import FaultPlan
         chaos_plan = FaultPlan(seed=guard_opts.chaos_seed,
                                interrupt_after=guard_opts.interrupt_after)
+    orchestrate_cfg = None
+    if guard_opts.orchestrate_k is not None:
+        from repro.sbm.config import OrchestrateConfig
+        orchestrate_cfg = OrchestrateConfig(k=guard_opts.orchestrate_k)
     flow_config = FlowConfig(iterations=1, jobs=jobs,
                              flow_timeout_s=guard_opts.timeout_s,
                              checkpoint_dir=guard_opts.checkpoint_dir,
                              chaos=chaos_plan,
                              enable_simresub=guard_opts.simresub,
-                             verify_each_step=chaos_plan is not None)
+                             verify_each_step=chaos_plan is not None,
+                             orchestrate=orchestrate_cfg)
     if command == "fig1":
         from repro.experiments.fig1 import format_result, run_fig1
         print(format_result(run_fig1()))
@@ -356,6 +386,8 @@ def _dispatch(command: str, rest: List[str], jobs: int,
         return _run_campaign_command(rest, jobs, guard_opts, chaos_plan)
     elif command == "fuzz":
         return _run_fuzz_command(rest, guard_opts)
+    elif command == "orchestrate":
+        return _run_orchestrate_command(rest, flow_config, guard_opts)
     elif command == "bench":
         from repro.bench.registry import benchmark_names, get_benchmark
         names = rest or benchmark_names()
@@ -390,6 +422,13 @@ def _run_campaign_command(rest: List[str], jobs: int,
             dataclasses.replace(job, config=dataclasses.replace(
                 job.config, enable_simresub=False))
             for job in campaign_jobs]
+    if guard_opts.orchestrate_k is not None:
+        from repro.sbm.config import OrchestrateConfig
+        campaign_jobs = [
+            dataclasses.replace(job, config=dataclasses.replace(
+                job.config,
+                orchestrate=OrchestrateConfig(k=guard_opts.orchestrate_k)))
+            for job in campaign_jobs]
     if chaos_plan is not None:
         # Chaos makes every job uncacheable (time/fault-dependent results);
         # verification keeps corrupt-result faults from reaching the output.
@@ -416,6 +455,67 @@ def _run_campaign_command(rest: List[str], jobs: int,
           f"pool_rebuilds={report.pool_rebuilds}  "
           f"corrupt_entries={report.corrupt_entries}")
     return 1 if report.errors else 0
+
+
+def _run_orchestrate_command(rest: List[str], flow_config,
+                             guard_opts: GuardOptions) -> int:
+    """``python -m repro orchestrate <benchmark | file.aag> ...``."""
+    import dataclasses
+    import os
+    from repro.campaign.cache import cache_context
+    from repro.sat.equivalence import check_equivalence
+    from repro.sbm.config import OrchestrateConfig
+    from repro.sbm.flow import sbm_flow
+    rest, k = _extract_value_flag(rest, "--k")
+    rest, rounds = _extract_value_flag(rest, "--rounds")
+    rest, seed = _extract_value_flag(rest, "--seed")
+    if not rest:
+        raise SystemExit("orchestrate requires a benchmark name or an "
+                         ".aag file")
+    base = flow_config.orchestrate or OrchestrateConfig()
+    try:
+        overrides = {}
+        if k is not None:
+            overrides["k"] = int(k)
+        if rounds is not None:
+            overrides["rounds"] = int(rounds)
+        if seed is not None:
+            overrides["seed"] = int(seed)
+    except ValueError as exc:
+        raise SystemExit(f"orchestrate: {exc}") from None
+    ocfg = dataclasses.replace(base, **overrides)
+    if ocfg.k < 1 or ocfg.rounds < 1:
+        raise SystemExit("orchestrate: --k and --rounds must be >= 1")
+    config = dataclasses.replace(flow_config, orchestrate=ocfg)
+    from repro.aig.io_aiger import read_aag
+    from repro.bench.registry import benchmark_names, get_benchmark
+    status = 0
+    with cache_context(guard_opts.cache_dir):
+        for name in rest:
+            if not os.path.exists(name) and name in benchmark_names():
+                aig = get_benchmark(name, scaled=True)
+            else:
+                aig = read_aag(name)
+            print(f"{aig.name or name}: {aig.stats()}")
+            optimized, stats = sbm_flow(aig, config)
+            doc = stats.orchestrate or {}
+            for round_doc in doc.get("rounds", []):
+                ordering = ">".join(round_doc["ordering"])
+                print(f"  round {round_doc['round'] + 1}: "
+                      f"winner #{round_doc['winner']}  "
+                      f"{round_doc['nodes']} nodes  {ordering}")
+            memo = doc.get("stage_memo")
+            if memo is not None:
+                print(f"  stage memo: {memo['memory_hits']} memory hits, "
+                      f"{memo['disk_hits']} disk hits, "
+                      f"{memo['misses']} recomputes, "
+                      f"{memo['stores']} stores")
+            ok, _cex = check_equivalence(aig, optimized)
+            print(f"  result: {aig.num_ands} -> {optimized.num_ands} nodes  "
+                  f"verified={ok}  ({stats.runtime_s:.1f}s)")
+            if not ok:
+                status = 1
+    return status
 
 
 def _run_fuzz_command(rest: List[str], guard_opts: GuardOptions) -> int:

@@ -19,11 +19,16 @@ CLI: ``python -m repro campaign <suite.toml | benchmark...>
 from repro.campaign.cache import (
     CacheEntry,
     ResultCache,
+    StageEntry,
     active_cache,
     cache_context,
     cached_sbm_flow,
+    canonical_digest,
     canonical_flow_config,
+    canonical_stage_config,
     flow_cache_key,
+    network_fingerprint,
+    stage_cache_key,
 )
 from repro.campaign.runner import (
     CampaignJob,
@@ -39,12 +44,17 @@ __all__ = [
     "CampaignReport",
     "JobResult",
     "ResultCache",
+    "StageEntry",
     "active_cache",
     "cache_context",
     "cached_sbm_flow",
+    "canonical_digest",
     "canonical_flow_config",
+    "canonical_stage_config",
     "flow_cache_key",
     "jobs_from_benchmarks",
     "load_suite",
+    "network_fingerprint",
     "run_campaign",
+    "stage_cache_key",
 ]

@@ -34,6 +34,21 @@ discipline, so a crash mid-write can never leave a half entry that later
 reads as a hit; a corrupt or truncated entry (killed writer on a non-atomic
 filesystem, manual tampering) is detected, counted, unlinked, and treated
 as a miss — never an exception.
+
+Two cache **slots** share one :class:`ResultCache` root:
+
+``flow``
+    whole-flow results keyed by :func:`flow_cache_key` — the original
+    (PR-5) namespace, stored at ``<root>/<key[:2]>/<key>.json`` so every
+    pre-existing entry stays valid;
+``stage``
+    per-stage results keyed by :func:`stage_cache_key` over
+    (network fingerprint, stage name, semantic stage config) — the memo
+    layer behind the ``repro.orchestrate`` pass-ordering search, stored
+    under ``<root>/stage/``.  Hit/miss/store counters are tracked per
+    slot (:meth:`ResultCache.slot_stats`), so flow-level and stage-level
+    memo effectiveness are observable independently in the campaign
+    section of run-report v3.
 """
 
 from __future__ import annotations
@@ -53,9 +68,28 @@ from repro.sbm.config import FlowConfig
 
 #: Bump when the entry layout (not the flow semantics) changes.
 CACHE_SCHEMA = "repro.campaign/cache-v1"
+#: Entry schema of the per-stage memo slot (``repro.orchestrate``).
+STAGE_SCHEMA = "repro.campaign/stage-cache-v1"
 
 
 # -- canonical forms -----------------------------------------------------------
+
+def canonical_digest(document: Any) -> str:
+    """SHA-256 hex digest of *document* in canonical JSON form.
+
+    Canonical = sorted keys, no whitespace variance — stable across
+    processes, platforms, and dict-ordering accidents.  This is the one
+    hash primitive behind every content key in the repo: flow cache keys,
+    stage memo keys, fuzz bundle fingerprints
+    (:func:`repro.fuzz.oracle.network_key`), and telemetry-history ingest
+    keys (:func:`repro.obs.history.ingest_key_of`) all reduce to it, so
+    their outputs are mutually consistent and previously written keys
+    stay valid.
+    """
+    payload = json.dumps(document, sort_keys=True,
+                         separators=(",", ":")).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
 
 def canonical_network(aig: Aig) -> Dict[str, Any]:
     """Order-stable CompactAig dict of *aig*; the network part of the key."""
@@ -68,6 +102,25 @@ def canonical_network(aig: Aig) -> Dict[str, Any]:
             "outputs": list(compact.outputs)}
 
 
+def network_fingerprint(network: Any) -> str:
+    """SHA-256 hex content fingerprint of a network (name excluded).
+
+    Accepts an :class:`~repro.aig.aig.Aig` or an already-flattened
+    :class:`~repro.parallel.window_io.CompactAig`.  Two structurally
+    identical networks share a fingerprint regardless of how they were
+    produced or what they are called.  This is the single network-hash
+    helper for the repo — the stage memo layer, fuzz bundle fingerprints,
+    and history ingest all route through it instead of rolling their own.
+    """
+    if isinstance(network, Aig):
+        document = canonical_network(network)
+    else:  # CompactAig (duck-typed: avoids importing window_io eagerly)
+        document = {"num_pis": network.num_pis,
+                    "gates": [list(gate) for gate in network.gates],
+                    "outputs": list(network.outputs)}
+    return canonical_digest(document)
+
+
 def _partition_dict(config: Optional[PartitionConfig]) -> Optional[Dict[str, int]]:
     if config is None:
         return None
@@ -76,27 +129,10 @@ def _partition_dict(config: Optional[PartitionConfig]) -> Optional[Dict[str, int
             "max_leaves": config.max_leaves}
 
 
-def canonical_flow_config(config: FlowConfig) -> Optional[Dict[str, Any]]:
-    """Semantic fields of *config* as a canonical dict, or ``None``.
-
-    ``None`` means the run is uncacheable: chaos injection and wall-clock
-    budgets make the result a function of timing/faults, not just of
-    (network, config).  Execution-side fields (``jobs``, ``checkpoint_dir``,
-    ``pool``) are deliberately absent — they change *where* windows run,
-    never what they compute.
-    """
-    if config.chaos is not None:
-        return None
-    if config.flow_timeout_s is not None or config.window_timeout_s is not None:
-        return None
+def _engine_dicts(config: FlowConfig) -> Dict[str, Dict[str, Any]]:
+    """Canonical per-engine knob dicts; one source for flow AND stage keys."""
     bdiff = config.boolean_difference
     return {
-        "iterations": config.iterations,
-        "max_depth_growth": config.max_depth_growth,
-        "enable_simresub": config.enable_simresub,
-        "enable_sat_sweep": config.enable_sat_sweep,
-        "enable_redundancy_removal": config.enable_redundancy_removal,
-        "verify_each_step": config.verify_each_step,
         "boolean_difference": {
             "xor_cost": bdiff.xor_cost,
             "bdd_size_limit": bdiff.bdd_size_limit,
@@ -139,6 +175,75 @@ def canonical_flow_config(config: FlowConfig) -> Optional[Dict[str, Any]]:
     }
 
 
+def canonical_flow_config(config: FlowConfig) -> Optional[Dict[str, Any]]:
+    """Semantic fields of *config* as a canonical dict, or ``None``.
+
+    ``None`` means the run is uncacheable: chaos injection and wall-clock
+    budgets make the result a function of timing/faults, not just of
+    (network, config).  Execution-side fields (``jobs``, ``checkpoint_dir``,
+    ``pool``, ``orchestrate.threads``) are deliberately absent — they
+    change *where* windows run, never what they compute.
+    """
+    if config.chaos is not None:
+        return None
+    if config.flow_timeout_s is not None or config.window_timeout_s is not None:
+        return None
+    ocfg = config.orchestrate
+    orchestrate = None if ocfg is None else {
+        "k": ocfg.k,
+        "rounds": ocfg.rounds,
+        "seed": ocfg.seed,
+        "explore": ocfg.explore,
+        "min_stages": ocfg.min_stages,
+    }
+    document: Dict[str, Any] = {
+        "iterations": config.iterations,
+        "orchestrate": orchestrate,
+        "max_depth_growth": config.max_depth_growth,
+        "enable_simresub": config.enable_simresub,
+        "enable_sat_sweep": config.enable_sat_sweep,
+        "enable_redundancy_removal": config.enable_redundancy_removal,
+        "verify_each_step": config.verify_each_step,
+    }
+    document.update(_engine_dicts(config))
+    return document
+
+
+#: Which per-engine knob dicts each flow stage actually reads.  Stages not
+#: listed here (script/sweep/cleanup stages) have no engine knobs — their
+#: stage key is (network, stage name, effort, depth limit) alone.
+_STAGE_CONFIG_DEPS: Dict[str, Tuple[str, ...]] = {
+    "aig_script": (),
+    "gradient": ("gradient",),
+    "kernel": ("kernel",),
+    "mspf": ("mspf",),
+    "simresub": ("simresub",),
+    "collapse_decomp": (),
+    "boolean_diff": ("boolean_difference",),
+    "sat_sweep": (),
+    "redundancy": (),
+    "balance": (),
+}
+
+
+def canonical_stage_config(config: FlowConfig, stage: str) -> Dict[str, Any]:
+    """The slice of *config* that stage *stage* can observe, canonicalized.
+
+    This is deliberately **narrower** than :func:`canonical_flow_config`:
+    a stage key must not change when an unrelated engine's knobs change,
+    or the memo would miss on semantically identical work.  ``enable_*``
+    flags, ``iterations``, and ``verify_each_step`` are excluded — they
+    select *which* stages run and how results are checked, never what one
+    stage computes from one input network.
+    """
+    try:
+        deps = _STAGE_CONFIG_DEPS[stage]
+    except KeyError:
+        raise ValueError(f"unknown flow stage {stage!r}") from None
+    engines = _engine_dicts(config)
+    return {name: engines[name] for name in deps}
+
+
 def flow_cache_key(aig: Aig, config: FlowConfig) -> Optional[str]:
     """SHA-256 cache key of running ``sbm_flow(aig, config)``, or ``None``.
 
@@ -150,15 +255,36 @@ def flow_cache_key(aig: Aig, config: FlowConfig) -> Optional[str]:
     semantic = canonical_flow_config(config)
     if semantic is None:
         return None
-    document = {
+    return canonical_digest({
         "schema": CACHE_SCHEMA,
         "code": hotpath.CODE_VERSION,
         "network": canonical_network(aig),
         "config": semantic,
-    }
-    payload = json.dumps(document, sort_keys=True,
-                         separators=(",", ":")).encode("utf-8")
-    return hashlib.sha256(payload).hexdigest()
+    })
+
+
+def stage_cache_key(network_fp: str, stage: str,
+                    stage_config: Dict[str, Any],
+                    effort: int = 1,
+                    depth_limit: Optional[int] = None) -> str:
+    """SHA-256 memo key of running one flow stage on one input network.
+
+    *network_fp* is the input's :func:`network_fingerprint`; *stage_config*
+    comes from :func:`canonical_stage_config`.  *effort* and *depth_limit*
+    are in the key because a reduced-effort or depth-rolled-back result is
+    a different function of the input than the full-effort one.  The code
+    salt invalidates entries when the engines change, exactly like the
+    flow slot.
+    """
+    return canonical_digest({
+        "schema": STAGE_SCHEMA,
+        "code": hotpath.CODE_VERSION,
+        "network": network_fp,
+        "stage": stage,
+        "effort": effort,
+        "depth_limit": depth_limit,
+        "config": stage_config,
+    })
 
 
 # -- the on-disk cache ---------------------------------------------------------
@@ -172,6 +298,21 @@ class CacheEntry:
     stats: Dict[str, Any]           #: ``FlowStats.to_dict()`` of the cold run
     nodes_before: int
     nodes_after: int
+
+
+@dataclasses.dataclass
+class StageEntry:
+    """One decoded stage-memo hit: the stage's output network + telemetry."""
+
+    key: str
+    network: Aig
+    #: stage telemetry of the cold run — ``{"nodes_before", "nodes_after",
+    #: "gain", "runtime_s"}`` plus whatever the stage recorded
+    stats: Dict[str, Any]
+
+
+#: Counter names tracked per slot.
+_SLOT_COUNTERS = ("hits", "misses", "corrupt", "stores", "store_failures")
 
 
 class ResultCache:
@@ -188,40 +329,81 @@ class ResultCache:
     def __init__(self, root: str) -> None:
         self.root = os.path.abspath(root)
         os.makedirs(self.root, exist_ok=True)
-        self.hits = 0
-        self.misses = 0
-        self.corrupt = 0
-        self.stores = 0
-        #: commits refused by the filesystem (disk full, permissions);
-        #: each one degrades to an uncacheable write, never an exception
-        self.store_failures = 0
+        #: per-slot counters: ``{"flow": {...}, "stage": {...}}``
+        self._stats: Dict[str, Dict[str, int]] = {
+            slot: dict.fromkeys(_SLOT_COUNTERS, 0)
+            for slot in ("flow", "stage")}
         self._store_warned = False
 
-    def path(self, key: str) -> str:
-        """Absolute path of *key*'s entry file (existing or not)."""
-        return os.path.join(self.root, key[:2], key + ".json")
+    # Aggregate counters kept as read-only properties so pre-existing
+    # callers (reports, tests, benches) keep working; per-layer numbers
+    # come from :meth:`slot_stats`.
+    @property
+    def hits(self) -> int:
+        return sum(stats["hits"] for stats in self._stats.values())
+
+    @property
+    def misses(self) -> int:
+        return sum(stats["misses"] for stats in self._stats.values())
+
+    @property
+    def corrupt(self) -> int:
+        return sum(stats["corrupt"] for stats in self._stats.values())
+
+    @property
+    def stores(self) -> int:
+        return sum(stats["stores"] for stats in self._stats.values())
+
+    @property
+    def store_failures(self) -> int:
+        """Commits refused by the filesystem (disk full, permissions);
+        each one degrades to an uncacheable write, never an exception."""
+        return sum(stats["store_failures"] for stats in self._stats.values())
+
+    def slot_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-slot counter snapshot: ``{"flow": {...}, "stage": {...}}``."""
+        return {slot: dict(stats) for slot, stats in self._stats.items()}
+
+    def path(self, key: str, slot: str = "flow") -> str:
+        """Absolute path of *key*'s entry file (existing or not).
+
+        The ``flow`` slot keeps the original ``<root>/<key[:2]>/`` layout
+        so every pre-existing entry stays addressable; the ``stage`` slot
+        nests under ``<root>/stage/``.
+        """
+        base = self.root if slot == "flow" else os.path.join(self.root, slot)
+        return os.path.join(base, key[:2], key + ".json")
+
+    def _read(self, key: str, slot: str) -> Optional[str]:
+        """Raw entry text for *key*, counting a miss on absence."""
+        path = self.path(key, slot)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return handle.read()
+        except OSError:
+            self._stats[slot]["misses"] += 1
+            return None
+
+    def _drop_corrupt(self, key: str, slot: str) -> None:
+        """Self-heal: a corrupt entry would otherwise miss forever while
+        still occupying its key's slot."""
+        self._stats[slot]["corrupt"] += 1
+        self._stats[slot]["misses"] += 1
+        try:
+            os.unlink(self.path(key, slot))
+        except OSError:
+            pass
 
     def lookup(self, key: str) -> Optional[CacheEntry]:
         """Decode the entry for *key*; corrupt/stale entries count as misses."""
-        path = self.path(key)
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                raw = handle.read()
-        except OSError:
-            self.misses += 1
+        raw = self._read(key, "flow")
+        if raw is None:
             return None
         entry = self._decode(key, raw)
         if entry is None:
-            # Self-heal: a corrupt entry would otherwise miss forever while
-            # still occupying its key's slot.
-            self.corrupt += 1
-            self.misses += 1
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
+            self._drop_corrupt(key, "flow")
             return None
-        self.hits += 1
+        self._stats["flow"]["hits"] += 1
         return entry
 
     def _decode(self, key: str, raw: str) -> Optional[CacheEntry]:
@@ -249,33 +431,18 @@ class ResultCache:
         except (KeyError, TypeError, ValueError):
             return None
 
-    def store(self, key: str, network: Aig, stats: Dict[str, Any],
-              nodes_before: int) -> None:
-        """Commit a finished result under *key* (atomic write-then-rename)."""
-        from repro.parallel.window_io import CompactAig
-        compact = CompactAig.from_aig(network)
-        document = {
-            "schema": CACHE_SCHEMA,
-            "key": key,
-            "code": hotpath.CODE_VERSION,
-            "network": {"num_pis": compact.num_pis,
-                        "gates": [list(gate) for gate in compact.gates],
-                        "outputs": list(compact.outputs),
-                        "name": compact.name},
-            "stats": stats,
-            "nodes_before": nodes_before,
-            "nodes_after": network.num_ands,
-        }
-        path = self.path(key)
+    def _commit(self, key: str, slot: str, document: Dict[str, Any]) -> None:
+        """Atomic write-then-rename of one entry; failures degrade to cold."""
+        path = self.path(key, slot)
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
             atomic_write_text(path,
                               json.dumps(document, sort_keys=True) + "\n")
         except OSError as exc:
             # A full disk or revoked permission must not sink a campaign
-            # mid-run: the flow result is already computed, the entry just
+            # mid-run: the result is already computed, the entry just
             # stays cold.  Warn once per cache, count every refusal.
-            self.store_failures += 1
+            self._stats[slot]["store_failures"] += 1
             from repro import obs
             obs.metrics().inc("campaign.cache.store_failures")
             if not self._store_warned:
@@ -286,7 +453,77 @@ class ResultCache:
                     f"({type(exc).__name__}: {exc}); continuing uncached",
                     RuntimeWarning, stacklevel=2)
             return
-        self.stores += 1
+        self._stats[slot]["stores"] += 1
+
+    def store(self, key: str, network: Aig, stats: Dict[str, Any],
+              nodes_before: int) -> None:
+        """Commit a finished result under *key* (atomic write-then-rename)."""
+        from repro.parallel.window_io import CompactAig
+        compact = CompactAig.from_aig(network)
+        self._commit(key, "flow", {
+            "schema": CACHE_SCHEMA,
+            "key": key,
+            "code": hotpath.CODE_VERSION,
+            "network": {"num_pis": compact.num_pis,
+                        "gates": [list(gate) for gate in compact.gates],
+                        "outputs": list(compact.outputs),
+                        "name": compact.name},
+            "stats": stats,
+            "nodes_before": nodes_before,
+            "nodes_after": network.num_ands,
+        })
+
+    # -- the stage slot (repro.orchestrate memo layer) -------------------------
+
+    def lookup_stage(self, key: str) -> Optional[StageEntry]:
+        """Decode the stage-memo entry for *key* (corrupt ⇒ miss, healed)."""
+        raw = self._read(key, "stage")
+        if raw is None:
+            return None
+        entry = self._decode_stage(key, raw)
+        if entry is None:
+            self._drop_corrupt(key, "stage")
+            return None
+        self._stats["stage"]["hits"] += 1
+        return entry
+
+    def _decode_stage(self, key: str, raw: str) -> Optional[StageEntry]:
+        from repro.parallel.window_io import CompactAig
+        try:
+            data = json.loads(raw)
+            if data.get("schema") != STAGE_SCHEMA:
+                return None
+            if data.get("key") != key:
+                return None
+            if data.get("code") != hotpath.CODE_VERSION:
+                return None
+            net = data["network"]
+            compact = CompactAig(num_pis=int(net["num_pis"]),
+                                 gates=[tuple(gate) for gate in net["gates"]],
+                                 outputs=list(net["outputs"]),
+                                 name=str(net.get("name", "")))
+            stats = data["stats"]
+            if not isinstance(stats, dict):
+                return None
+            return StageEntry(key=key, network=compact.to_aig(), stats=stats)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def store_stage(self, key: str, network: Aig,
+                    stats: Dict[str, Any]) -> None:
+        """Commit one stage result under *key* in the ``stage`` slot."""
+        from repro.parallel.window_io import CompactAig
+        compact = CompactAig.from_aig(network)
+        self._commit(key, "stage", {
+            "schema": STAGE_SCHEMA,
+            "key": key,
+            "code": hotpath.CODE_VERSION,
+            "network": {"num_pis": compact.num_pis,
+                        "gates": [list(gate) for gate in compact.gates],
+                        "outputs": list(compact.outputs),
+                        "name": compact.name},
+            "stats": stats,
+        })
 
     def __len__(self) -> int:
         count = 0
@@ -342,6 +579,7 @@ def cached_sbm_flow(aig: Aig, config: FlowConfig,
     is committed before returning.  With no explicit *cache* the
     process-wide one from :func:`cache_context` applies, if any.
     """
+    global _ACTIVE
     from repro.sbm.flow import sbm_flow
     if cache is None:
         cache = _ACTIVE
@@ -351,7 +589,16 @@ def cached_sbm_flow(aig: Aig, config: FlowConfig,
         if entry is not None:
             return entry.network, entry.stats, True, key
     nodes_before = aig.num_ands
-    result, stats = sbm_flow(aig, config)
+    # Install this cache as the process-wide one for the duration of the
+    # flow: the orchestrate search memoizes per-stage results through
+    # ``active_cache()`` several layers below, and an explicitly passed
+    # campaign cache must be the one it finds.
+    previous = _ACTIVE
+    _ACTIVE = cache if cache is not None else previous
+    try:
+        result, stats = sbm_flow(aig, config)
+    finally:
+        _ACTIVE = previous
     if key is not None and cache is not None:
         cache.store(key, result, stats.to_dict(), nodes_before)
     return result, stats, False, key

@@ -125,6 +125,10 @@ class CampaignReport:
     uncached: int = 0
     errors: int = 0
     corrupt_entries: int = 0
+    #: per-slot cache counters (``flow`` = whole-flow entries, ``stage`` =
+    #: the orchestrate memo layer), from :meth:`repro.campaign.cache
+    #: .ResultCache.slot_stats`; ``None`` without a cache
+    cache_slots: Optional[Dict[str, Dict[str, int]]] = None
     stolen_windows: int = 0
     pool_rebuilds: int = 0
     pool_restarts: int = 0
@@ -159,6 +163,7 @@ class CampaignReport:
             "uncached": self.uncached,
             "errors": self.errors,
             "corrupt_entries": self.corrupt_entries,
+            "cache_slots": self.cache_slots,
             "stolen_windows": self.stolen_windows,
             "pool_rebuilds": self.pool_rebuilds,
             "pool_restarts": self.pool_restarts,
@@ -335,6 +340,7 @@ def run_campaign(jobs: List[CampaignJob],
         report.pool_restarts += row.pool_restarts
     if cache is not None:
         report.corrupt_entries = cache.corrupt
+        report.cache_slots = cache.slot_stats()
     report.elapsed_s = time.perf_counter() - start_wall
     report.cpu_s = time.process_time() - start_cpu
 

@@ -37,23 +37,34 @@ import tomllib
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.campaign.runner import CampaignJob
-from repro.sbm.config import FlowConfig
+from repro.sbm.config import FlowConfig, OrchestrateConfig
 
 #: suite keys forwarded verbatim into ``FlowConfig(...)``
 _CONFIG_KEYS = ("iterations", "max_depth_growth", "enable_simresub",
                 "enable_sat_sweep", "enable_redundancy_removal",
                 "verify_each_step")
-_JOB_KEYS = _CONFIG_KEYS + ("benchmark", "name", "scaled", "tier")
+#: suite keys with bespoke handling (still semantic — they enter the key)
+_SPECIAL_KEYS = ("orchestrate_k",)
+_JOB_KEYS = _CONFIG_KEYS + _SPECIAL_KEYS + ("benchmark", "name", "scaled",
+                                            "tier")
 
 
 def _build_config(entry: Dict[str, Any], defaults: Dict[str, Any]
                   ) -> FlowConfig:
-    kwargs = {}
+    kwargs: Dict[str, Any] = {}
     for key in _CONFIG_KEYS:
         if key in entry:
             kwargs[key] = entry[key]
         elif key in defaults:
             kwargs[key] = defaults[key]
+    orchestrate_k = entry.get("orchestrate_k",
+                              defaults.get("orchestrate_k"))
+    if orchestrate_k is not None:
+        if not isinstance(orchestrate_k, int) or orchestrate_k < 1:
+            raise ValueError(
+                f"orchestrate_k must be a positive integer, "
+                f"got {orchestrate_k!r}")
+        kwargs["orchestrate"] = OrchestrateConfig(k=orchestrate_k)
     return FlowConfig(**kwargs)
 
 
@@ -69,7 +80,8 @@ def load_suite(path: str, tiers: Optional[Sequence[str]] = None
     name = data.get("name") or os.path.splitext(os.path.basename(path))[0]
     defaults = data.get("defaults", {})
     for key in defaults:
-        if key not in _CONFIG_KEYS and key != "scaled":
+        if (key not in _CONFIG_KEYS and key not in _SPECIAL_KEYS
+                and key != "scaled"):
             raise ValueError(f"{path}: unknown [defaults] key {key!r}")
     entries = data.get("jobs")
     if not entries:

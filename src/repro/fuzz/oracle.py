@@ -35,7 +35,6 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-import json
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -157,11 +156,15 @@ class CaseResult:
 
 
 def network_key(aig: Aig) -> str:
-    """Content hash of *aig*'s canonical CompactAig form."""
-    from repro.campaign.cache import canonical_network
-    payload = json.dumps(canonical_network(aig), sort_keys=True,
-                         separators=(",", ":")).encode("utf-8")
-    return hashlib.sha256(payload).hexdigest()
+    """Content hash of *aig*'s canonical CompactAig form.
+
+    Delegates to the repo-wide :func:`repro.campaign.cache
+    .network_fingerprint` helper — byte-identical to the historical local
+    implementation, so every previously written bundle fingerprint stays
+    valid.
+    """
+    from repro.campaign.cache import network_fingerprint
+    return network_fingerprint(aig)
 
 
 def _execute_flow(source: Aig, config: FlowConfig) -> Tuple[Aig, Any]:

@@ -49,7 +49,6 @@ not enough history yet; usage errors exit 2.
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 import json
 import sqlite3
 import statistics
@@ -107,9 +106,15 @@ CREATE INDEX IF NOT EXISTS idx_stages_bench
 
 
 def ingest_key_of(doc: Dict[str, Any]) -> str:
-    """The idempotence key: SHA-256 over the canonicalized document."""
-    canon = json.dumps(doc, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+    """The idempotence key: SHA-256 over the canonicalized document.
+
+    Delegates to :func:`repro.campaign.cache.canonical_digest` — the
+    repo-wide canonical-JSON hash — producing byte-identical keys to the
+    historical local implementation, so already-ingested reports still
+    deduplicate.
+    """
+    from repro.campaign.cache import canonical_digest
+    return canonical_digest(doc)
 
 
 def detect_git_rev(cwd: Optional[str] = None) -> Optional[str]:

@@ -1,0 +1,37 @@
+"""DAG-aware pass-ordering search over the SBM stage table.
+
+The classic flow (:mod:`repro.sbm.flow`) runs one fixed stage waterfall.
+``repro.orchestrate`` turns that table into an explorable program, after
+DAG-aware Synthesis Orchestration (arXiv:2310.07846) and BoolGebra
+(arXiv:2401.10753):
+
+* :mod:`repro.orchestrate.search` — each round proposes K candidate stage
+  sequences (permutations/subsets of the non-vital stages; vital stages
+  stay pinned at the tail), evaluates them concurrently, keeps the winner
+  by node count (pluggable objective), and seeds the next round with it;
+* :mod:`repro.orchestrate.bandit` — a seeded deterministic bandit prior
+  over (previous stage → next stage) gain history drives candidate
+  generation, so the search is bit-for-bit reproducible: no wall-clock
+  feeds it, only node deltas;
+* :mod:`repro.orchestrate.memo` — every stage result is memoized by
+  (input-network fingerprint, stage name, semantic stage config) in the
+  ``stage`` slot of the campaign :class:`~repro.campaign.cache
+  .ResultCache`, so no explored branch is ever recomputed — across
+  rounds, orderings, or campaigns.
+
+Entry points: ``FlowConfig.orchestrate = OrchestrateConfig(...)`` (then
+``sbm_flow`` dispatches here), the ``python -m repro orchestrate`` CLI,
+and ``--orchestrate K`` on ``optimize``/``campaign``/run_experiments.
+"""
+
+from repro.orchestrate.bandit import START, TransitionBandit
+from repro.orchestrate.memo import StageMemo
+from repro.orchestrate.search import CandidateOutcome, orchestrated_flow
+
+__all__ = [
+    "CandidateOutcome",
+    "START",
+    "StageMemo",
+    "TransitionBandit",
+    "orchestrated_flow",
+]

@@ -1,0 +1,135 @@
+"""Deterministic bandit prior over stage-transition gains.
+
+Candidate orderings are not drawn uniformly: the search learns which
+stage tends to pay off after which (``gradient`` after ``aig_script``,
+``sat_sweep`` after ``boolean_diff``, …) from the node-count deltas of
+every candidate it has already evaluated, and biases the next round's
+proposals toward high-gain transitions — the cheap learned prior the
+ROADMAP item asks for (BoolGebra, arXiv:2401.10753, learns the same
+structure with far heavier machinery).
+
+Everything here is **bit-for-bit reproducible**:
+
+* the only randomness is ``random.Random(seed * 1_000_003 + round)`` —
+  no wall clock, no ``os.urandom``, no iteration over unordered sets;
+* rewards are node deltas, never seconds, so a slow machine learns the
+  same prior as a fast one;
+* ties in the greedy draw break by waterfall position, the fixed
+  canonical order of the stage table.
+
+The bandit proposes **subsets as well as permutations**: a draw may drop
+movable stages (down to ``min_stages``), which is how the search
+discovers that skipping a stage entirely beats reordering it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+#: Sentinel "previous stage" of the first stage in a sequence.
+START = "^"
+
+
+class TransitionBandit:
+    """Average-gain prior over (previous stage → next stage) transitions.
+
+    Parameters
+    ----------
+    stages:
+        Movable stage names in waterfall order — the canonical order used
+        for tie-breaks and for restoring dropped stages.
+    seed:
+        Drives every draw; two bandits with equal seed, stages, and
+        update history propose identical candidates.
+    explore:
+        Probability that a greedy step picks uniformly instead of by
+        expected gain (keeps cold transitions measurable).
+    min_stages:
+        Floor on movable stages kept when a candidate drops stages.
+    """
+
+    def __init__(self, stages: Sequence[str], seed: int,
+                 explore: float = 0.25, min_stages: int = 3) -> None:
+        self.stages: List[str] = list(stages)
+        self.seed = seed
+        self.explore = explore
+        self.min_stages = max(1, min(min_stages, len(self.stages)))
+        #: (prev, next) -> (total gain, sample count)
+        self._gain: Dict[Tuple[str, str], Tuple[int, int]] = {}
+
+    def expected_gain(self, prev: str, nxt: str) -> float:
+        """Mean observed node gain of running *nxt* right after *prev*."""
+        total, count = self._gain.get((prev, nxt), (0, 0))
+        return total / count if count else 0.0
+
+    def update(self, sequence: Sequence[str],
+               gains: Sequence[int]) -> None:
+        """Feed one evaluated candidate's per-stage node gains back in."""
+        prev = START
+        for name, gain in zip(sequence, gains):
+            total, count = self._gain.get((prev, name), (0, 0))
+            self._gain[(prev, name)] = (total + int(gain), count + 1)
+            prev = name
+
+    # -- candidate generation --------------------------------------------------
+
+    def propose(self, k: int, round_index: int,
+                incumbent: Sequence[str]) -> List[List[str]]:
+        """K distinct candidate sequences for *round_index*.
+
+        Candidate 0 is always the *incumbent* (the reigning ordering keeps
+        competing, so a round can never regress the search).  The rest are
+        bandit draws, deduplicated within the round; if draws collide too
+        often the list is padded with rotations of the incumbent.
+        """
+        rng = random.Random((self.seed * 1_000_003 + round_index)
+                            & 0xFFFFFFFF)
+        candidates: List[List[str]] = [list(incumbent)]
+        seen = {tuple(incumbent)}
+        attempts = 0
+        while len(candidates) < k and attempts < 20 * k:
+            attempts += 1
+            draw = self._draw(rng)
+            if tuple(draw) not in seen:
+                seen.add(tuple(draw))
+                candidates.append(draw)
+        rotation = 1
+        while len(candidates) < k and rotation < max(2, len(incumbent)):
+            rotated = list(incumbent[rotation:]) + list(incumbent[:rotation])
+            if tuple(rotated) not in seen:
+                seen.add(tuple(rotated))
+                candidates.append(rotated)
+            rotation += 1
+        return candidates
+
+    def _draw(self, rng: random.Random) -> List[str]:
+        """One subset-then-order draw from the prior."""
+        kept = [name for name in self.stages if rng.random() >= 0.25]
+        if len(kept) < self.min_stages:
+            # Restore dropped stages in waterfall order until the floor
+            # holds — deterministic, no re-draw loop.
+            present = set(kept)
+            for name in self.stages:
+                if name not in present:
+                    kept.append(name)
+                    present.add(name)
+                if len(kept) >= self.min_stages:
+                    break
+            kept.sort(key=self.stages.index)
+        sequence: List[str] = []
+        remaining = [name for name in self.stages if name in set(kept)]
+        prev = START
+        while remaining:
+            if rng.random() < self.explore:
+                nxt = remaining[rng.randrange(len(remaining))]
+            else:
+                # Highest expected gain; ties break toward the earlier
+                # waterfall position (max of (gain, -index)).
+                nxt = max(remaining,
+                          key=lambda name: (self.expected_gain(prev, name),
+                                            -self.stages.index(name)))
+            remaining.remove(nxt)
+            sequence.append(nxt)
+            prev = nxt
+        return sequence

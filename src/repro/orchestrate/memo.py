@@ -1,0 +1,83 @@
+"""Content-addressed per-stage memoization (the orchestrate memo layer).
+
+A :class:`StageMemo` answers "has this exact stage already run on this
+exact network with these exact knobs?" — if yes, the cached output
+network and its telemetry come back instantly instead of re-running the
+engine.  Keys are :func:`repro.campaign.cache.stage_cache_key` over
+(input-network fingerprint, stage name, semantic stage config, effort,
+depth limit); see DESIGN §4k for the key contract.
+
+Two tiers back the memo:
+
+* an **in-memory map** (always on) of :class:`~repro.parallel.window_io
+  .CompactAig` entries — hits within one search, across rounds and
+  candidate orderings that share a prefix;
+* the **disk slot** — when a campaign :class:`~repro.campaign.cache
+  .ResultCache` is active, entries are also committed to its ``stage``
+  namespace with the same temp+fsync+rename discipline as flow entries,
+  so a *later* search (same process or not) starts warm.
+
+Lookups decode a **fresh** ``Aig`` every time: stage runners mutate their
+input in place, so handing out a shared object would corrupt the memo.
+The memo is thread-safe — candidate evaluations run concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.aig.aig import Aig
+from repro.campaign.cache import ResultCache
+from repro.parallel.window_io import CompactAig
+
+
+class StageMemo:
+    """Two-tier (memory + optional disk) store of finished stage results."""
+
+    def __init__(self, cache: Optional[ResultCache] = None) -> None:
+        self.cache = cache
+        self._lock = threading.Lock()
+        self._entries: Dict[str, Tuple[CompactAig, Dict[str, Any]]] = {}
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def lookup(self, key: str) -> Optional[Tuple[Aig, Dict[str, Any]]]:
+        """``(fresh network, telemetry)`` for *key*, or ``None`` on a miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.memory_hits += 1
+                compact, stats = entry
+                return compact.to_aig(), dict(stats)
+        if self.cache is not None:
+            disk = self.cache.lookup_stage(key)
+            if disk is not None:
+                compact = CompactAig.from_aig(disk.network)
+                with self._lock:
+                    self._entries.setdefault(key, (compact, dict(disk.stats)))
+                    self.disk_hits += 1
+                return disk.network, dict(disk.stats)
+        with self._lock:
+            self.misses += 1
+        return None
+
+    def store(self, key: str, network: Aig, stats: Dict[str, Any]) -> None:
+        """Commit one finished stage result (memory always, disk if backed)."""
+        compact = CompactAig.from_aig(network)
+        with self._lock:
+            self._entries[key] = (compact, dict(stats))
+            self.stores += 1
+        if self.cache is not None:
+            self.cache.store_stage(key, network, stats)
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot; ``misses`` is the number of stage recomputes."""
+        with self._lock:
+            return {"memory_hits": self.memory_hits,
+                    "disk_hits": self.disk_hits,
+                    "misses": self.misses,
+                    "stores": self.stores,
+                    "entries": len(self._entries)}

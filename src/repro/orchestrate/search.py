@@ -1,0 +1,367 @@
+"""The pass-ordering search: rounds of K candidate stage sequences.
+
+``orchestrated_flow`` replaces the fixed stage waterfall of
+:func:`repro.sbm.flow.sbm_flow` with a deterministic search:
+
+1. each **round** asks the :class:`~repro.orchestrate.bandit
+   .TransitionBandit` for K candidate sequences over the movable (non-
+   vital) stages of the :func:`~repro.sbm.flow._stage_specs` table —
+   vital stages stay pinned at the tail in table order;
+2. every candidate is evaluated from the same starting network —
+   candidates are **pure functions** of (input network, sequence,
+   config), so they may run concurrently in threads (engine partition
+   windows still go through the shared process pool) without changing
+   any result;
+3. each stage of a candidate first consults the :class:`~repro
+   .orchestrate.memo.StageMemo`; a hit returns the cached output network
+   instantly, a miss runs the stage and commits the result, so shared
+   prefixes across candidates/rounds/campaigns are computed exactly once;
+4. the **winner** (lowest objective; node count by default, pluggable
+   for the future cost-generic work) seeds the next round, and every
+   candidate's per-stage node gains train the bandit.
+
+Determinism contract: with a fixed ``OrchestrateConfig.seed`` the chosen
+orderings, the winner network, and the final ``FlowStats`` are identical
+for every ``jobs``/``threads`` value and for cold vs memo-warm runs —
+the same warm == cold property the flow-level campaign cache relies on.
+
+Incompatibilities are rejected loudly rather than silently degraded:
+``flow_timeout_s`` (a wall-clock budget would make the winner depend on
+machine speed) and ``checkpoint_dir``/``resume_from`` (the checkpoint
+cursor is defined over the fixed waterfall) raise ``ValueError``.  Chaos
+injection and ``window_timeout_s`` are allowed but disable the memo —
+faulty or timing-dependent stage results must never be committed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.aig.aig import Aig, lit_not
+from repro.campaign.cache import (
+    active_cache,
+    canonical_stage_config,
+    network_fingerprint,
+    stage_cache_key,
+)
+from repro.guard.budget import FULL
+from repro.guard.stage_guard import GuardReport, StageGuard
+from repro.obs import NULL_METRICS, NULL_SPAN, NULL_TRACER, TelemetryCollector
+from repro.opt.balance import balance
+from repro.orchestrate.bandit import TransitionBandit
+from repro.orchestrate.memo import StageMemo
+from repro.parallel.shared_pool import SharedProcessPool
+from repro.parallel.window_io import CompactAig
+from repro.sbm.config import FlowConfig, OrchestrateConfig
+
+#: Pluggable candidate objective: lower is better.  The default is AIG
+#: node count — the paper's metric; the cost-generic ROADMAP item plugs
+#: depth/switching/mapped costs in here.
+Objective = Callable[[Aig], float]
+
+
+def _node_count(aig: Aig) -> float:
+    return float(aig.num_ands)
+
+
+@dataclasses.dataclass
+class CandidateOutcome:
+    """One evaluated candidate ordering (everything the round needs)."""
+
+    index: int
+    sequence: List[str]
+    network: CompactAig
+    score: float
+    #: per-stage rows: name, nodes_before/after, elapsed_s, cached flag
+    rows: List[Dict[str, Any]]
+
+    @property
+    def gains(self) -> List[int]:
+        """Per-stage node gains, the bandit's training signal."""
+        return [row["nodes_before"] - row["nodes_after"]
+                for row in self.rows]
+
+    @property
+    def cached_stages(self) -> int:
+        return sum(1 for row in self.rows if row["cached"])
+
+    @property
+    def rollbacks(self) -> int:
+        return sum(1 for row in self.rows if row["rolled_back"])
+
+
+def _evaluate_candidate(base: CompactAig, sequence: Sequence[str],
+                        specs_by_name: Dict[str, Any],
+                        config: FlowConfig,
+                        memo: Optional[StageMemo],
+                        depth_limit: Optional[int],
+                        objective: Objective,
+                        round_index: int, cand_index: int,
+                        ) -> CandidateOutcome:
+    """Run one candidate ordering on a private copy of *base*.
+
+    Pure function of its arguments: obs is nulled for the duration (the
+    global tracer's span stack is single-threaded, and per-stage record_*
+    calls from losing candidates must not pollute the session), chaos
+    draws key on deterministic ``orch:`` sites, and every mutation
+    happens on networks this call owns.
+    """
+    previous_obs = obs.install(NULL_TRACER, NULL_METRICS)
+    previous_collector = obs._collector()
+    obs.push_collector(TelemetryCollector())
+    try:
+        net = base.to_aig()
+        guard = StageGuard(net.cleanup()) if config.verify_each_step else None
+        rows: List[Dict[str, Any]] = []
+        for pos, name in enumerate(sequence):
+            spec = specs_by_name[name]
+            nodes_before = net.num_ands
+            key = None
+            if memo is not None:
+                key = stage_cache_key(
+                    network_fingerprint(net), name,
+                    canonical_stage_config(config, name),
+                    effort=1, depth_limit=depth_limit)
+            t0 = time.perf_counter()
+            cached = rolled_back = False
+            if key is not None:
+                hit = memo.lookup(key)
+                if hit is not None:
+                    # The entry was committed only after passing every
+                    # guard on its cold run; re-verifying here would cost
+                    # the SAT proof the memo exists to avoid.
+                    net, _stage_stats = hit
+                    cached = True
+                    if guard is not None:
+                        guard.commit(net)
+            if not cached:
+                from repro.sbm.flow import _StageCtx
+                if spec.snapshot == "cleanup":
+                    before = net.cleanup()
+                elif spec.snapshot == "raw":
+                    before = net
+                else:
+                    before = None
+                ctx = _StageCtx(
+                    config=config, effort=1, level=FULL, span=NULL_SPAN,
+                    chaos_scope=f"orch:r{round_index}:c{cand_index}"
+                                f":{pos}:{name}")
+                result = spec.run(net, ctx)
+                if spec.depth_guard and before is not None \
+                        and depth_limit is not None:
+                    if result.depth > depth_limit:
+                        result = balance(result)
+                    if result.depth > depth_limit \
+                            and before.depth <= depth_limit:
+                        result = before
+                        rolled_back = True
+                chaos = config.chaos
+                if chaos is not None and chaos.draw_stage(
+                        f"orch:r{round_index}:c{cand_index}"
+                        f":{pos}:{name}") == "corrupt-result":
+                    corrupted = result.cleanup()
+                    corrupted.set_po(0, lit_not(corrupted.pos()[0]))
+                    result = corrupted
+                if guard is not None:
+                    cex = guard.check(result)
+                    if cex is None:
+                        guard.commit(result)
+                    else:
+                        result = guard.rollback_copy()
+                        rolled_back = True
+                net = result
+                if key is not None and not rolled_back:
+                    memo.store(key, net, {
+                        "nodes_before": nodes_before,
+                        "nodes_after": net.num_ands,
+                        "elapsed_s": time.perf_counter() - t0})
+            rows.append({"name": name,
+                         "nodes_before": nodes_before,
+                         "nodes_after": net.num_ands,
+                         "elapsed_s": time.perf_counter() - t0,
+                         "cached": cached,
+                         "rolled_back": rolled_back})
+        return CandidateOutcome(index=cand_index, sequence=list(sequence),
+                                network=CompactAig.from_aig(net),
+                                score=objective(net), rows=rows)
+    finally:
+        if previous_collector is not None:
+            obs.push_collector(previous_collector)
+        else:
+            obs.pop_collector()
+        obs.install(*previous_obs)
+
+
+def orchestrated_flow(aig: Aig, config: FlowConfig,
+                      objective: Optional[Objective] = None,
+                      ) -> Tuple[Aig, Any]:
+    """Run the pass-ordering search; returns ``(best network, FlowStats)``.
+
+    Drop-in for :func:`repro.sbm.flow.sbm_flow` when
+    ``config.orchestrate`` is set (``sbm_flow`` dispatches here itself).
+    ``config.iterations`` is superseded by ``OrchestrateConfig.rounds``:
+    the search rounds *are* the flow's iteration structure.
+    """
+    from repro.sbm.flow import FlowStats, _stage_specs
+    ocfg = config.orchestrate or OrchestrateConfig()
+    if config.flow_timeout_s is not None:
+        raise ValueError(
+            "orchestrate is incompatible with flow_timeout_s: a wall-clock "
+            "budget would make the chosen ordering machine-dependent")
+    if config.checkpoint_dir is not None:
+        raise ValueError(
+            "orchestrate is incompatible with checkpoint_dir: the "
+            "checkpoint cursor is defined over the fixed waterfall")
+    if ocfg.k < 1 or ocfg.rounds < 1:
+        raise ValueError("OrchestrateConfig.k and .rounds must be >= 1")
+    objective = objective or _node_count
+
+    specs = _stage_specs(config)
+    specs_by_name = {spec.name: spec for spec in specs}
+    movable = [spec.name for spec in specs if not spec.vital]
+    pinned = [spec.name for spec in specs if spec.vital]
+
+    # The memo must only ever hold pure (network, stage, config) -> network
+    # facts: chaos faults and window timeouts break that.
+    memoizable = config.chaos is None and config.window_timeout_s is None
+    memo = StageMemo(cache=active_cache()) if memoizable else None
+
+    own_pool: Optional[SharedProcessPool] = None
+    eval_config = config
+    if config.jobs not in (0, 1) and config.pool is None:
+        own_pool = SharedProcessPool(workers=config.jobs)
+        eval_config = dataclasses.replace(config, pool=own_pool)
+    pool = eval_config.pool
+    threads = ocfg.threads if ocfg.threads else (
+        min(ocfg.k, pool.workers) if pool is not None else 1)
+    threads = max(1, threads)
+
+    chaos = config.chaos
+    chaos_mark = len(chaos.injected) if chaos is not None else 0
+    stats = FlowStats()
+    stats.guard = report = GuardReport(
+        chaos_seed=chaos.seed if chaos is not None else None)
+    bandit = TransitionBandit(movable, seed=ocfg.seed,
+                              explore=ocfg.explore,
+                              min_stages=ocfg.min_stages)
+    start = time.time()
+    bus = obs.live_bus()
+    try:
+        with obs.span("flow", kind="flow", design=aig.name,
+                      orchestrate=True, k=ocfg.k,
+                      rounds=ocfg.rounds) as flow_span:
+            current = aig.cleanup()
+            stats.record("initial", current.num_ands)
+            depth_limit = None
+            if config.max_depth_growth is not None:
+                depth_limit = max(
+                    1, int(current.depth * config.max_depth_growth))
+            flow_span.set("nodes_before", current.num_ands)
+            if bus.enabled:
+                bus.emit("flow_start", design=aig.name,
+                         nodes=current.num_ands, stages=0,
+                         iterations=ocfg.rounds, resumed_at=0)
+            best = current
+            best_score = objective(best)
+            incumbent = list(movable)
+            rounds_doc: List[Dict[str, Any]] = []
+            for round_index in range(ocfg.rounds):
+                sequences = [candidate + pinned for candidate in
+                             bandit.propose(ocfg.k, round_index, incumbent)]
+                if bus.enabled:
+                    bus.emit("ordering_start", round=round_index,
+                             k=len(sequences),
+                             incumbent=">".join(incumbent + pinned))
+                base = CompactAig.from_aig(current)
+                with obs.span(f"ordering[{round_index + 1}]",
+                              kind="ordering", round=round_index,
+                              k=len(sequences),
+                              nodes_before=current.num_ands) as round_span:
+                    outcomes = _evaluate_round(
+                        base, sequences, specs_by_name, eval_config, memo,
+                        depth_limit, objective, round_index, threads)
+                    winner = min(outcomes,
+                                 key=lambda o: (o.score, o.index))
+                    round_span.set("nodes_after", winner.network.num_ands)
+                for outcome in outcomes:
+                    bandit.update(outcome.sequence, outcome.gains)
+                    for row in outcome.rows:
+                        if row["rolled_back"]:
+                            report.add("rolled_back", row["name"],
+                                       round_index,
+                                       candidate=outcome.index)
+                current = winner.network.to_aig()
+                for row in winner.rows:
+                    stats.record(f"{row['name']}[r{round_index + 1}]",
+                                 row["nodes_after"], row["elapsed_s"])
+                if winner.score < best_score:
+                    best = current.cleanup()
+                    best_score = winner.score
+                incumbent = [name for name in winner.sequence
+                             if name not in pinned]
+                rounds_doc.append({
+                    "round": round_index,
+                    "winner": winner.index,
+                    "ordering": winner.sequence,
+                    "nodes": winner.network.num_ands,
+                    "candidates": [
+                        {"sequence": o.sequence,
+                         "nodes": o.network.num_ands,
+                         "score": o.score,
+                         "cached_stages": o.cached_stages,
+                         "rollbacks": o.rollbacks}
+                        for o in outcomes],
+                })
+                if bus.enabled:
+                    bus.emit("ordering_end", round=round_index,
+                             ordering=">".join(winner.sequence),
+                             nodes=winner.network.num_ands,
+                             cached=winner.cached_stages)
+            stats.runtime_s = time.time() - start
+            stats.record("final", best.num_ands)
+            stats.orchestrate = {
+                "k": ocfg.k,
+                "rounds": rounds_doc,
+                "chosen": rounds_doc[-1]["ordering"] if rounds_doc else [],
+                "stage_memo": memo.stats() if memo is not None else None,
+            }
+            flow_span.set("nodes_after", best.num_ands)
+            if bus.enabled:
+                bus.emit("flow_end", design=aig.name, nodes=best.num_ands)
+    finally:
+        if own_pool is not None:
+            own_pool.shutdown()
+        if chaos is not None:
+            report.faults.extend(chaos.injected_since(chaos_mark))
+        obs.record_guard_report(report)
+    obs.record_flow_stats(stats)
+    return best, stats
+
+
+def _evaluate_round(base: CompactAig, sequences: List[List[str]],
+                    specs_by_name: Dict[str, Any], config: FlowConfig,
+                    memo: Optional[StageMemo],
+                    depth_limit: Optional[int], objective: Objective,
+                    round_index: int, threads: int,
+                    ) -> List[CandidateOutcome]:
+    """Evaluate a round's candidates (serial or thread-parallel).
+
+    Results come back in candidate order regardless of completion order,
+    so everything downstream (winner pick, bandit updates, reports) is
+    schedule-independent.
+    """
+    if threads <= 1 or len(sequences) <= 1:
+        return [_evaluate_candidate(base, seq, specs_by_name, config, memo,
+                                    depth_limit, objective, round_index, i)
+                for i, seq in enumerate(sequences)]
+    with ThreadPoolExecutor(max_workers=min(threads, len(sequences)),
+                            thread_name_prefix="orchestrate") as executor:
+        futures = [executor.submit(_evaluate_candidate, base, seq,
+                                   specs_by_name, config, memo, depth_limit,
+                                   objective, round_index, i)
+                   for i, seq in enumerate(sequences)]
+        return [future.result() for future in futures]

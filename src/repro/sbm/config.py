@@ -105,6 +105,37 @@ class GradientConfig:
 
 
 @dataclass
+class OrchestrateConfig:
+    """Knobs of the DAG-aware pass-ordering search (``repro.orchestrate``).
+
+    The search replaces the fixed stage waterfall with rounds of K
+    candidate stage sequences (vital stages pinned), evaluated through the
+    content-addressed stage memo and scored by node count.  Every knob
+    here except :attr:`threads` is **semantic** — part of the campaign
+    cache key — because it changes which ordering wins and therefore the
+    result network.  :attr:`threads` only changes where candidates are
+    evaluated, never what they compute (candidates are pure functions of
+    (input network, sequence, config)), so it is excluded like
+    ``FlowConfig.jobs``.
+    """
+
+    #: Candidate stage sequences proposed per round.
+    k: int = 4
+    #: Search rounds; each round seeds the next with its winner.
+    rounds: int = 2
+    #: Seed of the bandit prior's RNG — the only randomness source, so
+    #: candidate generation is bit-for-bit reproducible.
+    seed: int = 0xD46A11
+    #: Exploration probability of the bandit's next-stage draw.
+    explore: float = 0.25
+    #: Minimum movable stages kept when a candidate drops stages.
+    min_stages: int = 3
+    #: Concurrent candidate evaluations (execution-side; ``None`` = derive
+    #: from ``k`` and the worker pool).
+    threads: Optional[int] = None
+
+
+@dataclass
 class FlowConfig:
     """The full Boolean resynthesis script of Section V-A."""
 
@@ -174,3 +205,8 @@ class FlowConfig:
     #: network instead of aborting.  Historically this was an
     #: end-of-iteration ``assert_equivalent`` that raised on failure.
     verify_each_step: bool = False
+    #: Optional :class:`OrchestrateConfig`: replace the fixed waterfall
+    #: with the DAG-aware pass-ordering search (``repro.orchestrate``).
+    #: ``None`` (default) keeps the flow bit-identical to the classic
+    #: stage table.  Semantic — part of the campaign cache key.
+    orchestrate: Optional[OrchestrateConfig] = None

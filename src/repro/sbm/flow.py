@@ -108,6 +108,10 @@ class FlowStats:
     #: what the hardened execution layer did (degradations, rollbacks,
     #: checkpoints, injected faults); never None after :func:`sbm_flow`
     guard: Optional[GuardReport] = None
+    #: pass-ordering search summary (``repro.orchestrate``): per-round
+    #: candidates, the chosen ordering, and stage-memo counters; ``None``
+    #: for the classic fixed waterfall
+    orchestrate: Optional[Dict[str, Any]] = None
 
     def record(self, stage: str, size: int, elapsed_s: float = 0.0) -> None:
         """Append a stage checkpoint (resulting size, elapsed seconds)."""
@@ -124,11 +128,14 @@ class FlowStats:
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe representation for the run report."""
-        return {
+        doc: Dict[str, Any] = {
             "runtime_s": self.runtime_s,
             "stages": [{"name": r.name, "size": r.size,
                         "elapsed_s": r.elapsed_s} for r in self.records],
         }
+        if self.orchestrate is not None:
+            doc["orchestrate"] = self.orchestrate
+        return doc
 
 
 # -- stage table ---------------------------------------------------------------
@@ -477,6 +484,16 @@ def sbm_flow(aig: Aig, config: Optional[FlowConfig] = None,
     execution layer did.
     """
     config = config or FlowConfig()
+    if config.orchestrate is not None:
+        # The pass-ordering search replaces the fixed waterfall entirely;
+        # with ``orchestrate=None`` nothing below this line changes, so
+        # the classic flow stays bit-identical to previous releases.
+        if resume_from is not None:
+            raise ValueError(
+                "orchestrate is incompatible with resume_from: the "
+                "checkpoint cursor is defined over the fixed waterfall")
+        from repro.orchestrate.search import orchestrated_flow
+        return orchestrated_flow(aig, config)
     _warn_inline_timeout(config)
     specs = _stage_specs(config)
     per_iter = len(specs)
