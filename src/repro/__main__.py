@@ -16,9 +16,29 @@ Commands
                          one shared worker pool and the persistent result
                          cache (``repro.campaign``); ``--cache-dir DIR``
                          selects the cache, ``--iterations N`` the flow
-                         depth for ad-hoc benchmark lists, ``--tier NAME``
+                         depth for ad-hoc benchmark lists, ``--tier NAMES``
                          additionally includes the suite's jobs marked
-                         with that tier (e.g. ``--tier nightly-large``)
+                         with those (comma-separated) tiers (e.g.
+                         ``--tier nightly-large,nightly-scaled``);
+                         ``--shard i/N`` runs only this worker's slice of
+                         the deterministic N-way shard plan
+                         (``repro.campaign.shard``), ``--shard-costs DB``
+                         balances the plan by median cold runtimes from a
+                         telemetry history store instead of the default
+                         stable-hash split
+``cache pack <dir> <archive>``
+                         export a result-cache directory to a
+                         byte-reproducible ``.tar.gz`` with a manifest of
+                         keys and digests (``repro.campaign.sync``);
+                         ``--report FILE`` embeds the producing campaign
+                         report's per-slot cache counters so a degraded
+                         shard (``store_failures``) is visible at merge
+``cache merge <archive>... --into <dir>``
+                         import cache archives into one combined cache:
+                         idempotent for identical payloads, hard error
+                         (exit 1) when the same key carries a different
+                         result payload, corrupt entries skipped and
+                         counted
 ``fuzz run [suite.toml]``
                          differential workload fuzzing (``repro.fuzz``):
                          seeded random networks through the flow, each
@@ -208,6 +228,10 @@ class GuardOptions:
         self.cache_dir: Optional[str] = None
         self.iterations: Optional[int] = None
         self.tier: Optional[str] = None
+        #: ``--shard i/N``: run only this slice of the shard plan
+        self.shard: Optional[str] = None
+        #: ``--shard-costs DB``: history store seeding the cost balancer
+        self.shard_costs: Optional[str] = None
         self.simresub: bool = True
         self.history_db: Optional[str] = None
         #: ``--orchestrate K``: run the pass-ordering search with K
@@ -223,6 +247,8 @@ def main(argv=None) -> int:
     args, cache_dir = _extract_value_flag(args, "--cache-dir")
     args, iterations = _extract_value_flag(args, "--iterations")
     args, tier = _extract_value_flag(args, "--tier")
+    args, shard = _extract_value_flag(args, "--shard")
+    args, shard_costs = _extract_value_flag(args, "--shard-costs")
     args, progress_jsonl = _extract_value_flag(args, "--progress-jsonl")
     args, history_db = _extract_value_flag(args, "--history-db")
     args, orchestrate_k = _extract_value_flag(args, "--orchestrate")
@@ -231,6 +257,8 @@ def main(argv=None) -> int:
     guard_opts.cache_dir = cache_dir
     guard_opts.iterations = int(iterations) if iterations is not None else None
     guard_opts.tier = tier
+    guard_opts.shard = shard
+    guard_opts.shard_costs = shard_costs
     guard_opts.history_db = history_db
     guard_opts.simresub = "--no-simresub" not in args
     args = [a for a in args if a != "--no-simresub"]
@@ -384,6 +412,8 @@ def _dispatch(command: str, rest: List[str], jobs: int,
             return 1
     elif command == "campaign":
         return _run_campaign_command(rest, jobs, guard_opts, chaos_plan)
+    elif command == "cache":
+        return _run_cache_command(rest)
     elif command == "fuzz":
         return _run_fuzz_command(rest, guard_opts)
     elif command == "orchestrate":
@@ -410,7 +440,8 @@ def _run_campaign_command(rest: List[str], jobs: int,
     if not rest:
         raise SystemExit("campaign requires a suite.toml or benchmark names")
     if len(rest) == 1 and os.path.exists(rest[0]):
-        tiers = [guard_opts.tier] if guard_opts.tier else None
+        tiers = ([t for t in guard_opts.tier.split(",") if t]
+                 if guard_opts.tier else None)
         suite, campaign_jobs = load_suite(rest[0], tiers=tiers)
     else:
         config = FlowConfig(iterations=guard_opts.iterations or 1,
@@ -436,9 +467,31 @@ def _run_campaign_command(rest: List[str], jobs: int,
             dataclasses.replace(job, config=dataclasses.replace(
                 job.config, chaos=chaos_plan, verify_each_step=True))
             for job in campaign_jobs]
+    shard_tag = None
+    if guard_opts.shard is not None:
+        # Planned AFTER every config transform above: shard tokens hash
+        # the final job configs, so every worker of the fleet — given
+        # the same suite and flags — derives the same disjoint plan.
+        from repro.campaign.shard import (ShardSpec, plan_shards,
+                                          shard_costs_from_history)
+        try:
+            spec = ShardSpec.parse(guard_opts.shard)
+        except ValueError as exc:
+            raise SystemExit(f"--shard: {exc}") from None
+        costs = (shard_costs_from_history(guard_opts.shard_costs)
+                 if guard_opts.shard_costs is not None else None)
+        plan = plan_shards(campaign_jobs, spec.count, costs=costs)
+        selected = plan.select(campaign_jobs, spec.index)
+        shard_tag = plan.tag(spec.index)
+        print(f"shard {spec.label} ({plan.planner} plan): "
+              f"{len(selected)} of {len(campaign_jobs)} jobs")
+        campaign_jobs = selected
+    elif guard_opts.shard_costs is not None:
+        raise SystemExit("--shard-costs requires --shard i/N")
     report = run_campaign(campaign_jobs, cache_dir=guard_opts.cache_dir,
                           workers=jobs, suite=suite,
-                          history_db=guard_opts.history_db)
+                          history_db=guard_opts.history_db,
+                          shard=shard_tag)
     for row in report.results:
         line = (f"{row.name:16s} {row.outcome:8s} "
                 f"{row.nodes_before:6d} -> {row.nodes_after:6d}  "
@@ -455,6 +508,71 @@ def _run_campaign_command(rest: List[str], jobs: int,
           f"pool_rebuilds={report.pool_rebuilds}  "
           f"corrupt_entries={report.corrupt_entries}")
     return 1 if report.errors else 0
+
+
+def _run_cache_command(rest: List[str]) -> int:
+    """``python -m repro cache pack|merge ...`` (``repro.campaign.sync``)."""
+    import json
+    import os
+    import tarfile
+    if not rest:
+        raise SystemExit("cache requires a subcommand: pack | merge")
+    sub, rest = rest[0], rest[1:]
+    if sub == "pack":
+        from repro.campaign.sync import pack_cache
+        rest, report_path = _extract_value_flag(rest, "--report")
+        if len(rest) != 2:
+            raise SystemExit("cache pack requires: CACHE_DIR ARCHIVE "
+                             "[--report campaign_report.json]")
+        cache_dir, archive = rest
+        if not os.path.isdir(cache_dir):
+            print(f"cache pack: {cache_dir} is not a directory")
+            return 2
+        slot_stats = None
+        if report_path is not None:
+            try:
+                with open(report_path, "r", encoding="utf-8") as handle:
+                    doc = json.load(handle)
+            except (OSError, ValueError) as exc:
+                print(f"cache pack: unreadable report {report_path}: {exc}")
+                return 2
+            campaigns = doc.get("campaign") or []
+            slot_stats = campaigns[0].get("cache_slots") if campaigns else None
+        manifest = pack_cache(cache_dir, archive, slot_stats=slot_stats)
+        slots = {"flow": 0, "stage": 0}
+        for entry in manifest["entries"]:
+            slots[entry["slot"]] = slots.get(entry["slot"], 0) + 1
+        line = (f"packed {len(manifest['entries'])} entr(ies) "
+                f"(flow={slots['flow']} stage={slots['stage']}) "
+                f"from {cache_dir} into {archive}")
+        if manifest["corrupt_skipped"]:
+            line += f"  [skipped {manifest['corrupt_skipped']} corrupt]"
+        print(line)
+        failures = sum(int(stats.get("store_failures", 0))
+                       for stats in (slot_stats or {}).values()
+                       if isinstance(stats, dict))
+        if failures:
+            print(f"  WARNING: the producing run recorded {failures} cache "
+                  f"store failure(s) — this archive is missing results "
+                  f"that were computed but never committed")
+        return 0
+    if sub == "merge":
+        from repro.campaign.sync import CacheMergeConflict, merge_cache
+        rest, into = _extract_value_flag(rest, "--into")
+        if into is None or not rest:
+            raise SystemExit("cache merge requires: ARCHIVE... --into DIR")
+        try:
+            report = merge_cache(rest, into)
+        except CacheMergeConflict as exc:
+            print(f"MERGE CONFLICT: {exc}")
+            return 1
+        except (OSError, ValueError, tarfile.TarError) as exc:
+            print(f"cache merge: {type(exc).__name__}: {exc}")
+            return 2
+        print(report.describe())
+        return 0
+    raise SystemExit(f"unknown cache subcommand {sub!r} (expected pack | "
+                     f"merge)")
 
 
 def _run_orchestrate_command(rest: List[str], flow_config,

@@ -117,6 +117,22 @@ BENCHMARKS: Dict[str, Benchmark] = {
                                   lambda: arith.hypotenuse_unit(12),
                                   lambda: arith.hypotenuse_unit(12),
                                   PAPER["hypotenuse"], "arith"),
+    # 2×-width variants of the four fastest scaled benchmarks — the
+    # nightly fleet's scale tier (`--tier nightly-scaled`).  Doubling
+    # the width roughly quadruples the AND count, which is what makes a
+    # three-shard split pay off without blowing the nightly wall clock;
+    # native == scaled (one config).
+    "adder_x2": Benchmark("adder_x2", lambda: arith.adder(32),
+                          lambda: arith.adder(32), PAPER["adder"], "arith"),
+    "bar_x2": Benchmark("bar_x2", lambda: arith.bar(32),
+                        lambda: arith.bar(32), PAPER["bar"], "arith"),
+    "arbiter_x2": Benchmark("arbiter_x2", lambda: control.arbiter(32),
+                            lambda: control.arbiter(32),
+                            PAPER["arbiter"], "control"),
+    "priority_x2": Benchmark("priority_x2",
+                             lambda: control.priority_encoder(64),
+                             lambda: control.priority_encoder(64),
+                             PAPER["priority"], "control"),
 }
 
 #: Benchmarks appearing in the paper's Table I (new best LUT-6 results).

@@ -10,10 +10,18 @@
 * :mod:`repro.campaign.cache` — the crash-safe content-addressed result
   cache keyed by SHA-256 of (network, semantic config, code version);
   warm hits decode to networks bit-identical to the cold run;
-* :mod:`repro.campaign.suite` — TOML suite files describing campaigns.
+* :mod:`repro.campaign.suite` — TOML suite files describing campaigns;
+* :mod:`repro.campaign.shard` — deterministic shard planner splitting a
+  suite across fleet workers (``--shard i/N``), by stable cache-key hash
+  or a history-seeded cost model;
+* :mod:`repro.campaign.sync` — cache pack/merge: byte-reproducible
+  archives of a cache directory with manifest digests, merged back with
+  conflict detection so the fleet's combined cache equals a single
+  worker's.
 
 CLI: ``python -m repro campaign <suite.toml | benchmark...>
---cache-dir DIR --jobs N --report-json PATH``.
+--cache-dir DIR --jobs N --shard i/N --report-json PATH`` and
+``python -m repro cache pack|merge``.
 """
 
 from repro.campaign.cache import (
@@ -36,25 +44,51 @@ from repro.campaign.runner import (
     JobResult,
     run_campaign,
 )
+from repro.campaign.shard import (
+    ShardPlan,
+    ShardSpec,
+    plan_shards,
+    shard_costs_from_history,
+    shard_token,
+)
 from repro.campaign.suite import jobs_from_benchmarks, load_suite
+from repro.campaign.sync import (
+    CacheMergeConflict,
+    MergeReport,
+    cache_inventory,
+    entry_payload_digest,
+    merge_cache,
+    pack_cache,
+)
 
 __all__ = [
     "CacheEntry",
+    "CacheMergeConflict",
     "CampaignJob",
     "CampaignReport",
     "JobResult",
+    "MergeReport",
     "ResultCache",
+    "ShardPlan",
+    "ShardSpec",
     "StageEntry",
     "active_cache",
     "cache_context",
+    "cache_inventory",
     "cached_sbm_flow",
     "canonical_digest",
     "canonical_flow_config",
     "canonical_stage_config",
+    "entry_payload_digest",
     "flow_cache_key",
     "jobs_from_benchmarks",
     "load_suite",
+    "merge_cache",
     "network_fingerprint",
+    "pack_cache",
+    "plan_shards",
     "run_campaign",
+    "shard_costs_from_history",
+    "shard_token",
     "stage_cache_key",
 ]

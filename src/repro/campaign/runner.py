@@ -118,6 +118,9 @@ class CampaignReport:
 
     suite: str = "adhoc"
     cache_dir: Optional[str] = None
+    #: fleet shard tag (``repro.campaign.shard``): ``{"index", "count",
+    #: "planner", "jobs", "total_jobs"}``; ``None`` for unsharded runs
+    shard: Optional[Dict[str, Any]] = None
     results: List[JobResult] = dataclasses.field(default_factory=list)
     hits: int = 0
     misses: int = 0
@@ -156,6 +159,7 @@ class CampaignReport:
         return {
             "suite": self.suite,
             "cache_dir": self.cache_dir,
+            "shard": self.shard,
             "jobs": self.jobs,
             "hits": self.hits,
             "misses": self.misses,
@@ -242,7 +246,8 @@ def run_campaign(jobs: List[CampaignJob],
                  workers: Optional[int] = 1,
                  threads: Optional[int] = None,
                  suite: str = "adhoc",
-                 history_db: Optional[str] = None) -> CampaignReport:
+                 history_db: Optional[str] = None,
+                 shard: Optional[Dict[str, Any]] = None) -> CampaignReport:
     """Run every job; returns the campaign report (and registers it).
 
     Parameters
@@ -264,6 +269,10 @@ def run_campaign(jobs: List[CampaignJob],
         Path of a :mod:`repro.obs.history` SQLite store; when given, the
         finished report is ingested into it (a history failure is reported
         on stderr but never sinks the campaign).
+    shard:
+        Fleet shard tag (:meth:`repro.campaign.shard.ShardPlan.tag`);
+        recorded verbatim on the report and in the history store so a
+        shard's rows are distinguishable from a full run's.
     """
     names = [job.name for job in jobs]
     if len(set(names)) != len(names):
@@ -275,7 +284,7 @@ def run_campaign(jobs: List[CampaignJob],
         threads = pool.workers if pool is not None else 1
     threads = max(1, min(threads, len(jobs) or 1))
 
-    report = CampaignReport(suite=suite, cache_dir=cache_dir)
+    report = CampaignReport(suite=suite, cache_dir=cache_dir, shard=shard)
     bus = obs.live_bus()
     if bus.enabled:
         bus.emit("campaign_start", suite=suite, jobs=len(jobs))

@@ -7,8 +7,9 @@ human staring at two JSON files.  Three tables:
 
 ``runs``
     one row per ingested report — suite, command, ``CODE_VERSION``
-    (the flow's cache-key code revision), git revision, wall total and
-    cache counters;
+    (the flow's cache-key code revision), git revision, wall total,
+    cache counters, and the fleet shard tag (``"i/N"``, comma-joined
+    for merged multi-shard documents; NULL for unsharded runs);
 ``jobs``
     one row per campaign job — benchmark, outcome, content-addressed
     cache key, node counts before/after, wall and flow runtimes;
@@ -76,7 +77,8 @@ CREATE TABLE IF NOT EXISTS runs (
     jobs        INTEGER NOT NULL DEFAULT 0,
     hits        INTEGER NOT NULL DEFAULT 0,
     misses      INTEGER NOT NULL DEFAULT 0,
-    errors      INTEGER NOT NULL DEFAULT 0
+    errors      INTEGER NOT NULL DEFAULT 0,
+    shard       TEXT
 );
 CREATE TABLE IF NOT EXISTS jobs (
     run_id      INTEGER NOT NULL REFERENCES runs(run_id) ON DELETE CASCADE,
@@ -162,6 +164,12 @@ class HistoryStore:
         self.path = path
         self.conn = sqlite3.connect(path)
         self.conn.executescript(_SCHEMA)
+        # Shard tagging (repro.campaign.shard) arrived after the first
+        # stores shipped: widen pre-existing DBs in place.
+        columns = {row[1] for row in
+                   self.conn.execute("PRAGMA table_info(runs)")}
+        if "shard" not in columns:
+            self.conn.execute("ALTER TABLE runs ADD COLUMN shard TEXT")
         self.conn.commit()
 
     def close(self) -> None:
@@ -188,20 +196,28 @@ class HistoryStore:
         key = ingest_key_of(doc)
         campaigns = doc.get("campaign") or []
         suite = campaigns[0].get("suite", "adhoc") if campaigns else "adhoc"
+        # Shard-plan tag: "i/N" per campaign section, comma-joined when a
+        # merged document carries several shards' sections (the nightly
+        # merge job's unified row).
+        shard_labels = [
+            f"{tag.get('index')}/{tag.get('count')}"
+            for tag in (c.get("shard") for c in campaigns)
+            if isinstance(tag, dict)]
+        shard = ",".join(shard_labels) or None
         cur = self.conn.cursor()
         try:
             cur.execute(
                 "INSERT INTO runs (ingest_key, ingested_at, suite, command,"
                 " code_version, git_rev, schema_version, elapsed_s, jobs,"
-                " hits, misses, errors)"
-                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                " hits, misses, errors, shard)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 (key, time.time(), suite, doc.get("command"),
                  doc.get("code"), git_rev, int(doc.get("version", 0)),
                  float(sum(c.get("elapsed_s", 0.0) for c in campaigns)),
                  int(sum(c.get("jobs", 0) for c in campaigns)),
                  int(sum(c.get("hits", 0) for c in campaigns)),
                  int(sum(c.get("misses", 0) for c in campaigns)),
-                 int(sum(c.get("errors", 0) for c in campaigns))))
+                 int(sum(c.get("errors", 0) for c in campaigns)), shard))
         except sqlite3.IntegrityError:
             return None
         run_id = int(cur.lastrowid)
@@ -240,7 +256,7 @@ class HistoryStore:
         """Newest-first run rows (dicts)."""
         cur = self.conn.execute(
             "SELECT run_id, suite, command, code_version, git_rev,"
-            " elapsed_s, jobs, hits, misses, errors, ingested_at"
+            " elapsed_s, jobs, hits, misses, errors, ingested_at, shard"
             " FROM runs ORDER BY run_id DESC LIMIT ?", (limit,))
         cols = [d[0] for d in cur.description]
         return [dict(zip(cols, row)) for row in cur.fetchall()]

@@ -180,6 +180,8 @@ def _check_campaign(entry: Any, where: str) -> None:
     _expect(entry.get("cache_dir") is None
             or isinstance(entry["cache_dir"], str),
             f"{where}.cache_dir", "must be a string or null")
+    _expect(entry.get("shard") is None or isinstance(entry["shard"], dict),
+            f"{where}.shard", "must be an object or null")
     for key in ("jobs", "hits", "misses", "deduped", "uncached",
                 "corrupt_entries", "stolen_windows", "pool_rebuilds",
                 "pool_restarts"):

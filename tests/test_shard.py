@@ -1,0 +1,434 @@
+"""Tests for the campaign fleet: shard planning and cache pack/merge.
+
+The contracts under test:
+
+* **Plan determinism** — a shard plan is a pure function of (jobs, N,
+  costs): identical across processes and ``PYTHONHASHSEED`` values, so
+  N uncoordinated CI workers derive the same disjoint partition.
+* **Disjoint cover** — every job lands on exactly one shard, for every
+  N and for both planners; same-token jobs land together (the dedup
+  pass must behave exactly as in an unsharded run).
+* **Pack/merge round trip** — packing a cache and merging the archive
+  reproduces the entries byte for byte; packing is itself
+  byte-reproducible; re-merging is an idempotent no-op.
+* **Conflict detection** — same key with a different payload is a hard
+  :class:`CacheMergeConflict`, never a silent winner; same key with
+  only different ``stats`` timings is an accepted duplicate.
+* **Counter propagation** — per-slot ``store_failures`` recorded by a
+  shard travel through the pack manifest into the merge report.
+* **Fleet == single worker** — on real EPFL benchmarks, N merged
+  shards produce a cache and report identical to one worker's, and a
+  warm cross-shard rerun is all hits, bit-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import subprocess
+import sys
+
+import pytest
+
+from repro.campaign import (
+    CampaignJob,
+    ResultCache,
+    cache_inventory,
+    flow_cache_key,
+    jobs_from_benchmarks,
+    merge_cache,
+    pack_cache,
+    plan_shards,
+    run_campaign,
+    shard_token,
+)
+from repro.campaign.shard import ShardSpec, shard_costs_from_history
+from repro.campaign.sync import CacheMergeConflict, entry_payload_digest
+from repro.parallel.window_io import CompactAig
+from repro.sbm.config import FlowConfig
+
+from tests.conftest import make_random_aig
+
+
+def structure(aig):
+    """Canonical structural tuple for bit-identity comparison."""
+    compact = CompactAig.from_aig(aig)
+    return compact.num_pis, tuple(compact.gates), tuple(compact.outputs)
+
+
+def random_jobs(n=6, seed=100):
+    """Small-network jobs (no registry lookups, fast to key)."""
+    return [CampaignJob(name=f"job{i}", benchmark=f"job{i}",
+                        config=FlowConfig(iterations=1),
+                        network=make_random_aig(6, 24, seed=seed + i))
+            for i in range(n)]
+
+
+# -- shard specs and plans ----------------------------------------------------
+
+class TestShardSpec:
+    def test_parse(self):
+        spec = ShardSpec.parse("1/3")
+        assert (spec.index, spec.count, spec.label) == (1, 3, "1/3")
+
+    @pytest.mark.parametrize("text", ["", "2", "a/b", "1/2/3", "3/3",
+                                      "-1/3", "0/0"])
+    def test_parse_rejects(self, text):
+        with pytest.raises(ValueError):
+            ShardSpec.parse(text)
+
+
+class TestPlanDeterminism:
+    def test_stable_across_hashseed_processes(self):
+        jobs = jobs_from_benchmarks(["router", "i2c", "cavlc", "priority"],
+                                    config=FlowConfig(iterations=1))
+        here = plan_shards(jobs, 3).assignments
+        code = (
+            "from repro.campaign import jobs_from_benchmarks, plan_shards\n"
+            "from repro.sbm.config import FlowConfig\n"
+            "jobs = jobs_from_benchmarks(['router', 'i2c', 'cavlc',"
+            " 'priority'], config=FlowConfig(iterations=1))\n"
+            "print(plan_shards(jobs, 3).assignments)\n")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.path.dirname(__file__), "..", "src")]
+            + env.get("PYTHONPATH", "").split(os.pathsep))
+        env["PYTHONHASHSEED"] = "54321"  # plans must not depend on hashing
+        out = subprocess.run([sys.executable, "-c", code], env=env,
+                             capture_output=True, text=True, check=True)
+        assert out.stdout.strip() == str(here)
+
+    @pytest.mark.parametrize("count", [1, 2, 3, 5, 8])
+    def test_disjoint_cover_hash(self, count):
+        jobs = random_jobs(7)
+        plan = plan_shards(jobs, count)
+        covered = sorted(p for i in range(count)
+                         for p in plan.positions(i))
+        assert covered == list(range(len(jobs)))
+
+    @pytest.mark.parametrize("count", [1, 2, 3, 5, 8])
+    def test_disjoint_cover_cost(self, count):
+        jobs = random_jobs(7)
+        costs = {job.benchmark: float(i + 1)
+                 for i, job in enumerate(jobs)}
+        plan = plan_shards(jobs, count, costs=costs)
+        assert plan.planner == "cost"
+        covered = sorted(p for i in range(count)
+                         for p in plan.positions(i))
+        assert covered == list(range(len(jobs)))
+
+    def test_same_token_jobs_stay_together(self):
+        # Two jobs over the same network+config share a cache key; dedup
+        # only works inside one campaign, so they must share a shard.
+        aig = make_random_aig(6, 24, seed=7)
+        config = FlowConfig(iterations=1)
+        jobs = [CampaignJob(name="a", benchmark="a", config=config,
+                            network=aig),
+                CampaignJob(name="b", benchmark="b", config=config,
+                            network=aig)] + random_jobs(4)
+        assert shard_token(jobs[0]) == shard_token(jobs[1])
+        for costs in (None, {"a": 5.0, "b": 1.0}):
+            plan = plan_shards(jobs, 3, costs=costs)
+            assert plan.assignments[0] == plan.assignments[1]
+
+    def test_cost_plan_balances_loads(self):
+        jobs = random_jobs(6)
+        costs = {job.benchmark: cost
+                 for job, cost in zip(jobs, [8.0, 1.0, 1.0, 1.0, 1.0, 4.0])}
+        plan = plan_shards(jobs, 2, costs=costs)
+        loads = plan.loads()
+        assert sum(loads) == pytest.approx(16.0)
+        # LPT puts the 8.0 job alone against 4+1+1+1+1.
+        assert sorted(loads) == [8.0, 8.0]
+        assert plan_shards(jobs, 2, costs=costs).assignments \
+            == plan.assignments  # pure function
+
+    def test_select_and_tag(self):
+        jobs = random_jobs(5)
+        plan = plan_shards(jobs, 2)
+        selected = plan.select(jobs, 0)
+        assert [j.name for j in selected] \
+            == [plan.names[p] for p in plan.positions(0)]
+        tag = plan.tag(0)
+        assert tag["count"] == 2 and tag["total_jobs"] == 5
+        assert tag["jobs"] == [j.name for j in selected]
+        with pytest.raises(ValueError):
+            plan.select(jobs[:-1], 0)
+
+    def test_uncacheable_jobs_get_fallback_tokens(self):
+        config = FlowConfig(iterations=1)
+        jobs = [CampaignJob(name="bad", benchmark="no-such-benchmark",
+                            config=config)]
+        token = shard_token(jobs[0])
+        assert token == shard_token(jobs[0])  # deterministic fallback
+        plan = plan_shards(jobs, 4)
+        assert sorted(p for i in range(4) for p in plan.positions(i)) == [0]
+
+
+class TestShardCostsFromHistory:
+    def test_missing_db_is_empty(self, tmp_path):
+        assert shard_costs_from_history(str(tmp_path / "none.db")) == {}
+
+    def test_median_of_cold_runtimes(self, tmp_path):
+        db = str(tmp_path / "t.db")
+        conn = sqlite3.connect(db)
+        conn.executescript(
+            "CREATE TABLE runs (run_id INTEGER PRIMARY KEY);"
+            "CREATE TABLE jobs (run_id INT, benchmark TEXT, outcome TEXT,"
+            " flow_runtime_s REAL);")
+        conn.execute("INSERT INTO runs (run_id) VALUES (1), (2)")
+        rows = [(1, "router", "miss", 2.0), (2, "router", "miss", 4.0),
+                (1, "router", "miss", 9.0), (1, "i2c", "uncached", 5.0),
+                (2, "i2c", "hit", 99.0)]  # hits replay cold stats: ignored
+        conn.executemany("INSERT INTO jobs VALUES (?, ?, ?, ?)", rows)
+        conn.commit()
+        conn.close()
+        assert shard_costs_from_history(db) == {"router": 4.0, "i2c": 5.0}
+
+
+# -- pack / merge -------------------------------------------------------------
+
+def seed_cache(root, n=3, seed=500):
+    """A cache directory with *n* flow entries and one stage entry."""
+    cache = ResultCache(root)
+    for i in range(n):
+        aig = make_random_aig(6, 20, seed=seed + i)
+        key = flow_cache_key(aig, FlowConfig(iterations=1))
+        cache.store(key, aig, {"runtime_s": 0.5 + i}, aig.num_ands)
+    stage_aig = make_random_aig(6, 20, seed=seed + n)
+    cache.store_stage("ab" + "0" * 62, stage_aig, {"elapsed_s": 0.25})
+    return cache
+
+
+def read_tree(root):
+    """{relpath: bytes} of every file under *root*."""
+    tree = {}
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for name in filenames:
+            path = os.path.join(dirpath, name)
+            with open(path, "rb") as handle:
+                tree[os.path.relpath(path, root)] = handle.read()
+    return tree
+
+
+class TestPackMerge:
+    def test_round_trip_byte_identity(self, tmp_path):
+        src = str(tmp_path / "src")
+        seed_cache(src)
+        archive = str(tmp_path / "pack.tar.gz")
+        manifest = pack_cache(src, archive)
+        assert len(manifest["entries"]) == 4
+        assert manifest["corrupt_skipped"] == 0
+        dest = str(tmp_path / "dest")
+        report = merge_cache([archive], dest)
+        assert report.imported == 4 and report.duplicates == 0
+        assert report.imported_by_slot == {"flow": 3, "stage": 1}
+        assert read_tree(dest) == read_tree(src)
+        assert cache_inventory(dest) == cache_inventory(src)
+
+    def test_pack_is_byte_reproducible(self, tmp_path):
+        src = str(tmp_path / "src")
+        seed_cache(src)
+        a, b = str(tmp_path / "a.tar.gz"), str(tmp_path / "b.tar.gz")
+        pack_cache(src, a)
+        pack_cache(src, b)
+        with open(a, "rb") as fa, open(b, "rb") as fb:
+            assert fa.read() == fb.read()
+
+    def test_double_merge_is_idempotent(self, tmp_path):
+        src = str(tmp_path / "src")
+        seed_cache(src)
+        archive = str(tmp_path / "pack.tar.gz")
+        pack_cache(src, archive)
+        dest = str(tmp_path / "dest")
+        merge_cache([archive], dest)
+        before = read_tree(dest)
+        again = merge_cache([archive], dest)
+        assert again.imported == 0 and again.duplicates == 4
+        assert read_tree(dest) == before
+
+    def test_conflict_is_a_hard_error(self, tmp_path):
+        src = str(tmp_path / "src")
+        seed_cache(src)
+        # Forge a second cache holding the same key with a different
+        # result payload — the broken-determinism scenario.
+        entries = [rel for rel, _raw in read_tree(src).items()
+                   if "stage" not in rel]
+        victim = os.path.join(src, entries[0])
+        with open(victim, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+        evil = str(tmp_path / "evil")
+        os.makedirs(os.path.join(evil, os.path.dirname(entries[0])))
+        doc["nodes_after"] = doc.get("nodes_after", 0) + 1
+        with open(os.path.join(evil, entries[0]), "w",
+                  encoding="utf-8") as handle:
+            json.dump(doc, handle)
+        good = str(tmp_path / "good.tar.gz")
+        bad = str(tmp_path / "bad.tar.gz")
+        pack_cache(src, good)
+        pack_cache(evil, bad)
+        dest = str(tmp_path / "dest")
+        merge_cache([good], dest)
+        with pytest.raises(CacheMergeConflict, match="different result"):
+            merge_cache([bad], dest)
+
+    def test_timing_only_difference_is_a_duplicate(self, tmp_path):
+        # Same payload, different stats: two workers computed the same
+        # key at different speeds.  Must merge as a duplicate, not a
+        # conflict — wall time is measurement, not result.
+        src = str(tmp_path / "src")
+        seed_cache(src)
+        twin = str(tmp_path / "twin")
+        for rel, raw in read_tree(src).items():
+            doc = json.loads(raw)
+            doc["stats"] = {"runtime_s": 123.0}
+            path = os.path.join(twin, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(doc, handle)
+            assert entry_payload_digest(raw) \
+                == entry_payload_digest(json.dumps(doc).encode())
+        a, b = str(tmp_path / "a.tar.gz"), str(tmp_path / "b.tar.gz")
+        pack_cache(src, a)
+        pack_cache(twin, b)
+        dest = str(tmp_path / "dest")
+        report = merge_cache([a, b], dest)
+        assert report.imported == 4 and report.duplicates == 4
+        assert cache_inventory(dest) == cache_inventory(src)
+
+    def test_corrupt_entry_counted_not_shipped(self, tmp_path):
+        src = str(tmp_path / "src")
+        seed_cache(src)
+        os.makedirs(os.path.join(src, "zz"), exist_ok=True)
+        with open(os.path.join(src, "zz", "bad.json"), "w",
+                  encoding="utf-8") as handle:
+            handle.write("{not json")
+        manifest = pack_cache(src, str(tmp_path / "p.tar.gz"))
+        assert manifest["corrupt_skipped"] == 1
+        assert len(manifest["entries"]) == 4
+        report = merge_cache([str(tmp_path / "p.tar.gz")],
+                             str(tmp_path / "dest"))
+        assert report.packed_corrupt == 1 and report.imported == 4
+
+    def test_store_failures_propagate_to_merge_report(self, tmp_path):
+        src = str(tmp_path / "src")
+        seed_cache(src)
+        archive = str(tmp_path / "p.tar.gz")
+        pack_cache(src, archive,
+                   slot_stats={"flow": {"store_failures": 2},
+                               "stage": {"store_failures": 1}})
+        report = merge_cache([archive, archive], str(tmp_path / "dest"))
+        assert report.store_failures == {"flow": 4, "stage": 2}
+        assert "WARNING" in report.describe()
+        clean = pack_cache(src, str(tmp_path / "clean.tar.gz"),
+                           slot_stats={"flow": {"store_failures": 0},
+                                       "stage": {"store_failures": 0}})
+        assert clean["slot_stats"]["flow"]["store_failures"] == 0
+        quiet = merge_cache([str(tmp_path / "clean.tar.gz")],
+                            str(tmp_path / "dest2"))
+        assert "WARNING" not in quiet.describe()
+
+    def test_merge_rejects_traversal_and_bad_manifests(self, tmp_path):
+        with pytest.raises((ValueError, OSError)):
+            merge_cache([str(tmp_path / "missing.tar.gz")],
+                        str(tmp_path / "dest"))
+
+
+# -- fleet == single worker on real benchmarks --------------------------------
+
+class TestFleetEquality:
+    def test_two_shards_equal_one_worker(self, tmp_path):
+        jobs = jobs_from_benchmarks(["router", "i2c"],
+                                    config=FlowConfig(iterations=1))
+        solo_dir = str(tmp_path / "solo")
+        solo = run_campaign(jobs, cache_dir=solo_dir, workers=1)
+        assert solo.errors == 0
+
+        plan = plan_shards(jobs, 2)
+        archives = []
+        shard_rows = {}
+        for index in range(2):
+            shard_dir = str(tmp_path / f"shard{index}")
+            report = run_campaign(plan.select(jobs, index),
+                                  cache_dir=shard_dir, workers=1,
+                                  shard=plan.tag(index))
+            assert report.errors == 0
+            assert report.to_dict()["shard"]["index"] == index
+            for row in report.results:
+                shard_rows[row.name] = (row.key, row.outcome,
+                                        row.nodes_before, row.nodes_after)
+            archive = str(tmp_path / f"shard{index}.tar.gz")
+            pack_cache(shard_dir, archive, slot_stats=report.cache_slots)
+            archives.append(archive)
+
+        merged_dir = str(tmp_path / "merged")
+        merge_report = merge_cache(archives, merged_dir)
+        assert sum(merge_report.store_failures.values()) == 0
+
+        # Same keys, bit-identical payloads as the single worker.
+        assert cache_inventory(merged_dir) == cache_inventory(solo_dir)
+        # Same report rows as the single worker, reassembled.
+        solo_rows = {row.name: (row.key, row.outcome, row.nodes_before,
+                                row.nodes_after) for row in solo.results}
+        assert shard_rows == solo_rows
+
+        # Warm cross-shard rerun: all hits, bit-identical networks.
+        warm = run_campaign(jobs, cache_dir=merged_dir, workers=1)
+        assert warm.misses == 0 and warm.errors == 0
+        assert warm.hits == warm.jobs == len(jobs)
+        for row in warm.results:
+            assert structure(row.network) \
+                == structure(solo.result(row.name).network)
+
+
+# -- history store integration ------------------------------------------------
+
+class TestHistoryShardTag:
+    def test_shard_tag_lands_in_runs_row(self, tmp_path):
+        from repro.obs.history import HistoryStore, wrap_campaign_report
+        jobs = random_jobs(2)
+        plan = plan_shards(jobs, 2)
+        merged = None
+        docs = []
+        for index in range(2):
+            report = run_campaign(plan.select(jobs, index),
+                                  cache_dir=str(tmp_path / f"c{index}"),
+                                  workers=1, shard=plan.tag(index))
+            docs.append(wrap_campaign_report(report.to_dict()))
+        # The nightly merge job splices every shard's campaign section
+        # into one document → one history row tagged with the plan.
+        merged = docs[0]
+        merged["campaign"] = [c for doc in docs for c in doc["campaign"]]
+        with HistoryStore(str(tmp_path / "t.db")) as store:
+            run_id = store.ingest(merged)
+            assert run_id is not None
+            row = store.runs(limit=1)[0]
+        assert row["shard"] == "0/2,1/2"
+        assert row["jobs"] == 2
+
+    def test_unsharded_runs_have_null_shard(self, tmp_path):
+        from repro.obs.history import HistoryStore, wrap_campaign_report
+        report = run_campaign(random_jobs(1),
+                              cache_dir=str(tmp_path / "c"), workers=1)
+        with HistoryStore(str(tmp_path / "t.db")) as store:
+            store.ingest(wrap_campaign_report(report.to_dict()))
+            assert store.runs(limit=1)[0]["shard"] is None
+
+    def test_pre_shard_db_is_migrated_in_place(self, tmp_path):
+        from repro.obs.history import HistoryStore
+        db = str(tmp_path / "old.db")
+        conn = sqlite3.connect(db)
+        # The pre-fleet runs table: no shard column.
+        conn.executescript(
+            "CREATE TABLE runs (run_id INTEGER PRIMARY KEY AUTOINCREMENT,"
+            " ingest_key TEXT NOT NULL UNIQUE, ingested_at REAL NOT NULL,"
+            " suite TEXT, command TEXT, code_version TEXT, git_rev TEXT,"
+            " schema_version INT, elapsed_s REAL, jobs INT, hits INT,"
+            " misses INT, errors INT);")
+        conn.commit()
+        conn.close()
+        with HistoryStore(db) as store:
+            columns = {row[1] for row in
+                       store.conn.execute("PRAGMA table_info(runs)")}
+        assert "shard" in columns
